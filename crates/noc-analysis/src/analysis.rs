@@ -1,0 +1,358 @@
+//! The [`Analysis`] trait and the five concrete analyses.
+//!
+//! | Analysis | Paper | Downstream MPB charge | Safe under MPB? |
+//! |---|---|---|---|
+//! | [`NoIndirect`] | — (teaching baseline) | none, no jitter | no |
+//! | [`ShiBurns`] | SB, \[11\] | none | no |
+//! | [`XiongOriginal`] | Eq. 4, \[12\] | Eq. 3, with `Iup` as window jitter | no (shown optimistic by \[6\]) |
+//! | [`Xlwx`] | Eq. 5, \[13\] | Eq. 3 | yes |
+//! | [`BufferAware`] | **IBN**, Eq. 5 + 6–8 (this paper) | `min(bi, Eq. 3)` | yes |
+
+use noc_model::system::System;
+
+use crate::engine::{DownstreamModel, JitterModel, Solver};
+use crate::error::AnalysisError;
+use crate::report::{AnalysisReport, FlowExplanation};
+
+/// A worst-case response-time analysis: maps a [`System`] to per-flow
+/// latency bounds and a schedulability verdict.
+///
+/// Object-safe ([C-OBJECT]) so experiment harnesses can iterate over
+/// `&dyn Analysis` collections.
+pub trait Analysis {
+    /// Short, stable display name (`"SB"`, `"XLWX"`, `"IBN"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the analysis over every flow of `system`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::Model`] if the system violates a model
+    /// assumption (e.g. non-contiguous contention domains).
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError>;
+
+    /// Runs the analysis and returns, for every flow, the interference
+    /// breakdown at the fixed point: which interferer was charged how many
+    /// hits of what size (including the MPB term). The identity
+    /// `R = C + Σ hits·charge` holds for every schedulable flow.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Analysis::analyze`].
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError>;
+}
+
+/// Direct interference only, no interference jitter: the naive bound that
+/// predates SB. Unsafe; kept as a teaching/ablation baseline showing why
+/// indirect interference matters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoIndirect;
+
+impl Analysis for NoIndirect {
+    fn name(&self) -> &'static str {
+        "NoIndirect"
+    }
+
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+        Ok(Solver::new(system, DownstreamModel::Ignore, JitterModel::None)?.solve(self.name()))
+    }
+
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(
+            Solver::new(system, DownstreamModel::Ignore, JitterModel::None)?
+                .solve_explained(self.name())
+                .1,
+        )
+    }
+}
+
+/// The Shi & Burns analysis (SB, \[11\]): direct interference plus the
+/// interference jitter `J^I_j = Rⱼ − Cⱼ` for direct interferers that suffer
+/// indirect interference. Optimistic under multi-point progressive blocking
+/// (§III of the paper).
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// # use noc_analysis::prelude::*;
+/// # fn system() -> System {
+/// #     let t = Topology::mesh(2, 1);
+/// #     let f = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+/// #         .priority(Priority::new(1)).period(Cycles::new(100)).build()]).unwrap();
+/// #     System::new(t, NocConfig::default(), f, &XyRouting).unwrap()
+/// # }
+/// let report = ShiBurns.analyze(&system())?;
+/// assert!(report.is_schedulable());
+/// # Ok::<(), noc_analysis::error::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShiBurns;
+
+impl Analysis for ShiBurns {
+    fn name(&self) -> &'static str {
+        "SB"
+    }
+
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::Ignore,
+            JitterModel::InterferenceJitter,
+        )?
+        .solve(self.name()))
+    }
+
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::Ignore,
+            JitterModel::InterferenceJitter,
+        )?
+        .solve_explained(self.name())
+        .1)
+    }
+}
+
+/// The original Xiong et al. analysis (Equation 4, GLSVLSI 2016 \[12\]):
+/// downstream indirect interference charged as direct interference and the
+/// upstream term `Iup(j,i)` used as window jitter. Shown optimistic by the
+/// counter-example of \[6\]; kept for ablation studies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XiongOriginal;
+
+impl Analysis for XiongOriginal {
+    fn name(&self) -> &'static str {
+        "Xiong16"
+    }
+
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::Xlwx,
+            JitterModel::UpstreamInterference,
+        )?
+        .solve(self.name()))
+    }
+
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::Xlwx,
+            JitterModel::UpstreamInterference,
+        )?
+        .solve_explained(self.name())
+        .1)
+    }
+}
+
+/// The corrected Xiong/Lu/Wu/Xie analysis (XLWX, Equation 5 with the fix of
+/// \[6\], published in \[13\]): the state of the art the paper improves on.
+/// Safe under MPB but pessimistic — downstream indirect interference is
+/// charged in full as direct interference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Xlwx;
+
+impl Analysis for Xlwx {
+    fn name(&self) -> &'static str {
+        "XLWX"
+    }
+
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::Xlwx,
+            JitterModel::InterferenceJitter,
+        )?
+        .solve(self.name()))
+    }
+
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::Xlwx,
+            JitterModel::InterferenceJitter,
+        )?
+        .solve_explained(self.name())
+        .1)
+    }
+}
+
+/// **IBN** — the paper's buffer-aware analysis (§IV): downstream indirect
+/// interference per hit is capped by the buffered interference
+/// `bi(i,j) = buf(Ξ)·linkl(Ξ)·|cd(i,j)|` (Equation 6) whenever the direct
+/// interferer suffers no upstream indirect interference (Equation 8),
+/// falling back to the XLWX charge otherwise. Reads `buf(Ξ)` from
+/// [`System::config`]; analyse `system.with_buffer_depth(b)` to study other
+/// buffer sizes.
+///
+/// Never less tight than [`Xlwx`], and safe under MPB.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// # use noc_analysis::prelude::*;
+/// # fn system() -> System {
+/// #     let t = Topology::mesh(2, 1);
+/// #     let f = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+/// #         .priority(Priority::new(1)).period(Cycles::new(100)).build()]).unwrap();
+/// #     System::new(t, NocConfig::default(), f, &XyRouting).unwrap()
+/// # }
+/// let sys = system();
+/// let small = BufferAware.analyze(&sys)?;
+/// let large = BufferAware.analyze(&sys.with_buffer_depth(100))?;
+/// // Buffer size can only increase IBN's bounds:
+/// for (id, v) in small.iter() {
+///     assert!(v.response_time() <= large.verdict(id).response_time());
+/// }
+/// # Ok::<(), noc_analysis::error::AnalysisError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferAware;
+
+impl Analysis for BufferAware {
+    fn name(&self) -> &'static str {
+        "IBN"
+    }
+
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::BufferAware,
+            JitterModel::InterferenceJitter,
+        )?
+        .solve(self.name()))
+    }
+
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(Solver::new(
+            system,
+            DownstreamModel::BufferAware,
+            JitterModel::InterferenceJitter,
+        )?
+        .solve_explained(self.name())
+        .1)
+    }
+}
+
+/// All analyses of this crate as trait objects, in increasing order of
+/// modelled interference detail. Convenient for sweeping experiments.
+pub fn all_analyses() -> Vec<Box<dyn Analysis + Send + Sync>> {
+    vec![
+        Box::new(NoIndirect),
+        Box::new(ShiBurns),
+        Box::new(XiongOriginal),
+        Box::new(Xlwx),
+        Box::new(BufferAware),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::prelude::*;
+
+    fn tiny_system() -> System {
+        let topology = Topology::mesh(3, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(1))
+                .period(Cycles::new(500))
+                .length_flits(16)
+                .build(),
+            Flow::builder(NodeId::new(1), NodeId::new(2))
+                .priority(Priority::new(2))
+                .period(Cycles::new(1_000))
+                .length_flits(32)
+                .build(),
+        ])
+        .unwrap();
+        System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(NoIndirect.name(), "NoIndirect");
+        assert_eq!(ShiBurns.name(), "SB");
+        assert_eq!(XiongOriginal.name(), "Xiong16");
+        assert_eq!(Xlwx.name(), "XLWX");
+        assert_eq!(BufferAware.name(), "IBN");
+    }
+
+    #[test]
+    fn highest_priority_flow_has_zero_interference() {
+        let sys = tiny_system();
+        for analysis in all_analyses() {
+            let report = analysis.analyze(&sys).unwrap();
+            assert_eq!(
+                report.response_time(FlowId::new(0)),
+                Some(sys.zero_load_latency(FlowId::new(0))),
+                "{}",
+                analysis.name()
+            );
+        }
+    }
+
+    #[test]
+    fn direct_interference_single_hit() {
+        let sys = tiny_system();
+        // τ1 (P2): C = 2·... |route| = 3, L = 32 → C = 3 + 31 = 34.
+        // Single hit of τ0 (C0 = 4 + ... |route|=4, L=16 → C0 = 4+15 = 19).
+        // R1 = 34 + ⌈R1/500⌉·19 = 53.
+        let report = Xlwx.analyze(&sys).unwrap();
+        assert_eq!(report.response_time(FlowId::new(1)), Some(Cycles::new(53)));
+    }
+
+    #[test]
+    fn analyses_agree_without_indirect_interference() {
+        // With no indirect interferers, SB, XLWX and IBN coincide.
+        let sys = tiny_system();
+        let sb = ShiBurns.analyze(&sys).unwrap();
+        let xlwx = Xlwx.analyze(&sys).unwrap();
+        let ibn = BufferAware.analyze(&sys).unwrap();
+        for id in sys.flows().ids() {
+            assert_eq!(sb.response_time(id), xlwx.response_time(id));
+            assert_eq!(ibn.response_time(id), xlwx.response_time(id));
+        }
+    }
+
+    #[test]
+    fn analyses_usable_as_trait_objects() {
+        let sys = tiny_system();
+        let list = all_analyses();
+        assert_eq!(list.len(), 5);
+        for analysis in &list {
+            assert!(analysis.analyze(&sys).unwrap().is_schedulable());
+        }
+    }
+
+    #[test]
+    fn deadline_miss_detected() {
+        // τ1's deadline is too tight to absorb even one hit of τ0.
+        let topology = Topology::mesh(3, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(1))
+                .period(Cycles::new(100))
+                .length_flits(64)
+                .build(),
+            Flow::builder(NodeId::new(1), NodeId::new(2))
+                .priority(Priority::new(2))
+                .period(Cycles::new(100))
+                .deadline(Cycles::new(40))
+                .length_flits(32)
+                .build(),
+        ])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let report = ShiBurns.analyze(&sys).unwrap();
+        assert!(!report.is_schedulable());
+        assert!(matches!(
+            report.verdict(FlowId::new(1)),
+            crate::report::FlowVerdict::DeadlineMiss { .. }
+        ));
+        // The higher-priority flow itself is fine.
+        assert!(report.verdict(FlowId::new(0)).is_schedulable());
+    }
+}

@@ -1,0 +1,320 @@
+//! The shared fixed-point response-time engine.
+//!
+//! Every analysis in this crate instantiates the same solver with a choice
+//! of **downstream-interference model** (how multi-point progressive
+//! blocking is charged) and **jitter model** (what inflates the interference
+//! window of a direct interferer). The response-time recurrence is the
+//! paper's Equation 5 skeleton:
+//!
+//! ```text
+//! Rᵢ = Cᵢ + Σ_{τⱼ ∈ S^D_i} ⌈(Rᵢ + Jⱼ + jitterⱼ) / Tⱼ⌉ · (Cⱼ + Idown(j,i))
+//! ```
+//!
+//! solved highest-priority-first so that every `Rⱼ` referenced by the
+//! interference terms of τᵢ is already final.
+
+use std::collections::HashMap;
+
+use noc_model::contention::InterferenceGraph;
+use noc_model::ids::FlowId;
+use noc_model::system::System;
+use noc_model::time::Cycles;
+
+use crate::error::AnalysisError;
+use crate::report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
+
+/// How downstream indirect interference (the MPB effect) is charged per hit
+/// of an indirect interferer τₖ on a direct interferer τⱼ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DownstreamModel {
+    /// Not charged at all — the (unsafe under MPB) SB family.
+    Ignore,
+    /// Charged as direct interference: per hit `Cₖ + Idown(k,j)` (Eq. 3),
+    /// the XLWX model.
+    Xlwx,
+    /// Buffer-aware: per hit `min(bi(i,j), Cₖ + Idown(k,j))` (Eq. 8) when
+    /// τⱼ suffers no upstream indirect interference, falling back to the
+    /// XLWX charge otherwise — the paper's proposed IBN analysis (§IV).
+    BufferAware,
+}
+
+/// What inflates the interference window `⌈(Rᵢ + Jⱼ + ⋅)/Tⱼ⌉` of a direct
+/// interferer τⱼ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JitterModel {
+    /// Nothing (a deliberately naive baseline).
+    None,
+    /// The interference jitter `J^I_j = Rⱼ − Cⱼ`, charged iff τⱼ suffers
+    /// interference from a member of `S^I_i` — the SB rule, kept by the
+    /// corrected XLWX (\[6\]/\[13\]) and by IBN.
+    InterferenceJitter,
+    /// The upstream indirect interference term `Iup(j,i)` of the original
+    /// (GLSVLSI 2016) Xiong et al. analysis — Equation 4, shown optimistic
+    /// by \[6\]; kept for ablation studies.
+    UpstreamInterference,
+}
+
+/// Iteration safety cap; monotone integer iterations converge or blow past
+/// the deadline long before this.
+const MAX_ITERATIONS: usize = 100_000;
+
+pub(crate) struct Solver<'a> {
+    system: &'a System,
+    graph: InterferenceGraph,
+    downstream: DownstreamModel,
+    jitter: JitterModel,
+    /// Zero-load latencies Cᵢ.
+    c: Vec<u128>,
+    /// Final response times, filled highest-priority-first.
+    r: Vec<Option<u128>>,
+    /// Memoised `Idown(j,i)` values keyed by the (j, i) pair.
+    idown_memo: HashMap<(FlowId, FlowId), u128>,
+}
+
+impl<'a> Solver<'a> {
+    pub(crate) fn new(
+        system: &'a System,
+        downstream: DownstreamModel,
+        jitter: JitterModel,
+    ) -> Result<Self, AnalysisError> {
+        let graph = InterferenceGraph::new(system)?;
+        let c = system
+            .flows()
+            .ids()
+            .map(|id| u128::from(system.zero_load_latency(id).as_u64()))
+            .collect();
+        Ok(Solver {
+            system,
+            graph,
+            downstream,
+            jitter,
+            c,
+            r: vec![None; system.flows().len()],
+            idown_memo: HashMap::new(),
+        })
+    }
+
+    /// Runs the analysis over the whole flow set.
+    pub(crate) fn solve(self, name: &'static str) -> AnalysisReport {
+        self.solve_explained(name).0
+    }
+
+    /// Runs the analysis and additionally returns the per-flow
+    /// interference breakdowns at the fixed points.
+    pub(crate) fn solve_explained(
+        mut self,
+        name: &'static str,
+    ) -> (AnalysisReport, Vec<FlowExplanation>) {
+        let order = self.system.flows().ids_by_priority();
+        let n = order.len();
+        let mut verdicts = vec![FlowVerdict::NotConverged; n];
+        let mut explanations: Vec<Option<FlowExplanation>> = (0..n).map(|_| None).collect();
+        for &i in &order {
+            let (verdict, terms) = self.solve_flow(i);
+            if let FlowVerdict::Schedulable { response_time } = verdict {
+                self.r[i.index()] = Some(u128::from(response_time.as_u64()));
+            }
+            verdicts[i.index()] = verdict;
+            explanations[i.index()] = Some(FlowExplanation {
+                flow: i,
+                zero_load: clamp_cycles(self.c[i.index()]),
+                verdict,
+                terms,
+            });
+        }
+        let explanations = explanations
+            .into_iter()
+            .map(|e| e.expect("every flow solved"))
+            .collect();
+        (AnalysisReport::new(name, verdicts), explanations)
+    }
+
+    /// Computes the verdict for one flow; every higher-priority flow has
+    /// been solved already.
+    fn solve_flow(&mut self, i: FlowId) -> (FlowVerdict, Vec<InterferenceTerm>) {
+        let flow = self.system.flow(i);
+        let deadline = u128::from(flow.deadline().as_u64());
+        let direct: Vec<FlowId> = self.graph.direct_set(i).to_vec();
+        // Taint: a failed direct interferer leaves τᵢ without a valid bound.
+        if direct.iter().any(|&j| self.r[j.index()].is_none()) {
+            return (FlowVerdict::Tainted, Vec::new());
+        }
+        // Per-interferer constants of the recurrence (independent of Rᵢ).
+        let mut terms = Vec::with_capacity(direct.len());
+        for &j in &direct {
+            let t_j = u128::from(self.system.flow(j).period().as_u64());
+            let j_j = u128::from(self.system.flow(j).jitter().as_u64());
+            let extra_jitter = self.window_jitter(i, j);
+            let downstream = self.downstream_term(j, i);
+            let charge = self.c[j.index()].saturating_add(downstream);
+            terms.push((
+                j,
+                t_j,
+                j_j.saturating_add(extra_jitter),
+                extra_jitter,
+                charge,
+                downstream,
+            ));
+        }
+        let explain = |r: u128, terms: &[(FlowId, u128, u128, u128, u128, u128)]| {
+            terms
+                .iter()
+                .map(
+                    |&(j, t_j, jitter_j, extra, charge, downstream)| InterferenceTerm {
+                        interferer: j,
+                        hits: u64::try_from(r.saturating_add(jitter_j).div_ceil(t_j))
+                            .unwrap_or(u64::MAX),
+                        charge_per_hit: clamp_cycles(charge),
+                        downstream_term: clamp_cycles(downstream),
+                        window_jitter: clamp_cycles(extra),
+                    },
+                )
+                .collect::<Vec<_>>()
+        };
+        // Monotone fixed-point iteration from Rᵢ⁰ = Cᵢ.
+        let c_i = self.c[i.index()];
+        let mut r = c_i;
+        for _ in 0..MAX_ITERATIONS {
+            let mut next = c_i;
+            for &(_, t_j, jitter_j, _, charge, _) in &terms {
+                let window = r.saturating_add(jitter_j);
+                let hits = window.div_ceil(t_j);
+                next = next.saturating_add(hits.saturating_mul(charge));
+            }
+            if next > deadline {
+                return (
+                    FlowVerdict::DeadlineMiss {
+                        exceeded_at: clamp_cycles(next),
+                    },
+                    explain(r, &terms),
+                );
+            }
+            if next == r {
+                return (
+                    FlowVerdict::Schedulable {
+                        response_time: clamp_cycles(r),
+                    },
+                    explain(r, &terms),
+                );
+            }
+            r = next;
+        }
+        (FlowVerdict::NotConverged, explain(r, &terms))
+    }
+
+    /// The jitter added to τⱼ's interference window when bounding τᵢ.
+    fn window_jitter(&mut self, i: FlowId, j: FlowId) -> u128 {
+        match self.jitter {
+            JitterModel::None => 0,
+            JitterModel::InterferenceJitter => {
+                // J^I_j = Rⱼ − Cⱼ iff τⱼ suffers interference from S^I_i.
+                if self.graph.has_indirect_via(i, j) {
+                    let r_j = self.r[j.index()].expect("solved before use");
+                    r_j.saturating_sub(self.c[j.index()])
+                } else {
+                    0
+                }
+            }
+            JitterModel::UpstreamInterference => self.upstream_term(j, i),
+        }
+    }
+
+    /// `Iup(j,i)` — Equation 2: the interference τⱼ suffers from upstream
+    /// indirect interferers of τᵢ, charged as hit-count × Cₖ.
+    fn upstream_term(&mut self, j: FlowId, i: FlowId) -> u128 {
+        let part = self.graph.partition_indirect(i, j);
+        let r_j = self.r[j.index()].expect("solved before use");
+        let mut total: u128 = 0;
+        for &k in &part.upstream {
+            let hits = self.hits_on(r_j, k);
+            total = total.saturating_add(hits.saturating_mul(self.c[k.index()]));
+        }
+        total
+    }
+
+    /// `Idown(j,i)` for the configured downstream model, memoised per pair.
+    fn downstream_term(&mut self, j: FlowId, i: FlowId) -> u128 {
+        if matches!(self.downstream, DownstreamModel::Ignore) {
+            return 0;
+        }
+        if let Some(&v) = self.idown_memo.get(&(j, i)) {
+            return v;
+        }
+        let part = self.graph.partition_indirect(i, j);
+        // Eq. 8 applies when τⱼ does not suffer *both* upstream and
+        // downstream indirect interference; with no downstream interferers
+        // the sum is zero either way, so testing the upstream set suffices.
+        let buffer_bound = match self.downstream {
+            DownstreamModel::BufferAware if part.upstream.is_empty() => {
+                Some(self.buffered_interference(i, j))
+            }
+            _ => None,
+        };
+        let r_j = self.r[j.index()].expect("solved before use");
+        let mut total: u128 = 0;
+        for &k in &part.downstream {
+            // One hit of τₖ on τⱼ blocks τⱼ for τₖ's own latency plus any
+            // downstream interference τₖ itself suffers (recursive MPB).
+            let inner = self.c[k.index()].saturating_add(self.downstream_term(k, j));
+            let per_hit = match buffer_bound {
+                Some(bi) => bi.min(inner),
+                None => inner,
+            };
+            let hits = self.hits_on(r_j, k);
+            total = total.saturating_add(hits.saturating_mul(per_hit));
+        }
+        self.idown_memo.insert((j, i), total);
+        total
+    }
+
+    /// `⌈(Rⱼ + Jₖ) / Tₖ⌉` — the number of τₖ packets that can hit τⱼ's
+    /// packet during its response window (Eq. 7/8).
+    fn hits_on(&self, r_j: u128, k: FlowId) -> u128 {
+        let flow_k = self.system.flow(k);
+        let t_k = u128::from(flow_k.period().as_u64());
+        let j_k = u128::from(flow_k.jitter().as_u64());
+        r_j.saturating_add(j_k).div_ceil(t_k)
+    }
+
+    /// Equation 6: `bi(i,j) = buf(Ξ) · linkl(Ξ) · |cd(i,j)|` — the time for
+    /// one contention-domain's worth of buffered τⱼ flits to drain past τᵢ.
+    ///
+    /// Generalised to heterogeneous routers as
+    /// `linkl(Ξ) · Σ_{λ ∈ cd(i,j)} buf(target(λ))`: the flits that can pile
+    /// up inside the contention domain sit in the input buffers at the
+    /// downstream end of each shared link. For homogeneous systems this is
+    /// exactly the paper's product form.
+    fn buffered_interference(&self, i: FlowId, j: FlowId) -> u128 {
+        let linkl = u128::from(self.system.config().link_latency().as_u64());
+        if !self.system.has_heterogeneous_buffers() {
+            let buf = u128::from(self.system.config().buffer_depth());
+            let cd_len = self.graph.contention_len(i, j) as u128;
+            return buf * linkl * cd_len;
+        }
+        let cd = self
+            .graph
+            .contention_domain(i, j)
+            .expect("buffered_interference requires a contention domain");
+        let total_buf: u128 = cd
+            .links()
+            .iter()
+            .map(|&l| u128::from(self.system.buffer_depth_of_link(l).unwrap_or(0)))
+            .sum();
+        linkl * total_buf
+    }
+}
+
+fn clamp_cycles(v: u128) -> Cycles {
+    Cycles::new(u64::try_from(v).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_saturates() {
+        assert_eq!(clamp_cycles(5), Cycles::new(5));
+        assert_eq!(clamp_cycles(u128::MAX), Cycles::MAX);
+    }
+}

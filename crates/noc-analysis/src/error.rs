@@ -1,0 +1,60 @@
+//! Error type for the analyses.
+
+use std::error::Error;
+use std::fmt;
+
+use noc_model::error::ModelError;
+
+/// Errors raised while running a response-time analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The system violates a model assumption the analysis relies on
+    /// (non-contiguous contention domain, …).
+    Model(ModelError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Model(e) => write!(f, "model assumption violated: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> Self {
+        AnalysisError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::ids::NodeId;
+
+    #[test]
+    fn wraps_model_error_with_source() {
+        let inner = ModelError::UnknownNode {
+            node: NodeId::new(3),
+        };
+        let err = AnalysisError::from(inner.clone());
+        assert_eq!(err, AnalysisError::Model(inner));
+        assert!(err.to_string().contains("n3"));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! Bench X1: regenerates the §VI buffer-size observation (reduced scale)
+//! and measures IBN's cost as a function of buffer depth (the analysis
+//! itself is buffer-independent in complexity — only the min() operand
+//! changes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_analysis::prelude::*;
+use noc_bench::bench_system;
+use noc_experiments::buffer_sweep::{self, BufferSweepConfig};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let cfg = BufferSweepConfig::paper().reduced(16);
+    let results = buffer_sweep::run(&cfg);
+    println!(
+        "\n=== Buffer-depth sweep (reduced: {} sets of {} flows on {}x{}) ===\n{}",
+        cfg.sets,
+        cfg.n_flows,
+        cfg.mesh_width,
+        cfg.mesh_height,
+        buffer_sweep::render(&results)
+    );
+
+    let mut group = c.benchmark_group("buffer_sweep");
+    let system = bench_system(4, 160, 2, 0xB5);
+    for depth in [2u32, 100] {
+        let sys = system.with_buffer_depth(depth);
+        group.bench_function(format!("ibn/buf-{depth}"), |b| {
+            b.iter(|| BufferAware.analyze(black_box(&sys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

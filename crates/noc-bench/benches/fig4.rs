@@ -1,0 +1,43 @@
+//! Bench F4: regenerates Figure 4 (reduced scale) and measures the cost of
+//! judging one flow set at a Figure-4(a) operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench_system;
+use noc_experiments::fig4::{self, Fig4Config};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    // Reduced sweep: 5 points x 12 sets per platform (full scale: the
+    // fig4 binary in noc-experiments).
+    for (label, cfg) in [
+        ("4x4", Fig4Config::paper_4x4().reduced(5, 12)),
+        ("8x8", Fig4Config::paper_8x8().reduced(5, 12)),
+    ] {
+        let results = fig4::run(&cfg);
+        println!(
+            "\n=== Figure 4 ({label}, reduced: {} sets/point) ===\n{}",
+            cfg.sets_per_point,
+            fig4::render(&results, &cfg)
+        );
+        println!(
+            "max IBN2-XLWX gap: {:.0} pp\n",
+            fig4::max_ibn_xlwx_gap(&results)
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4");
+    for n in [80usize, 200] {
+        let system = bench_system(4, n, 2, 0xF40 + n as u64);
+        group.bench_function(format!("judge-set/4x4/{n}-flows"), |b| {
+            b.iter(|| black_box(fig4::judge_set(black_box(&system), 2, 100, false)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

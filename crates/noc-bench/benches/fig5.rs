@@ -1,0 +1,48 @@
+//! Bench F5: regenerates Figure 5 (reduced scale) and measures the cost of
+//! mapping + judging the AV benchmark on a mid-size topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_analysis::prelude::*;
+use noc_experiments::fig5::{self, Fig5Config};
+use noc_model::prelude::*;
+use noc_workload::av::av_benchmark;
+use noc_workload::mapping::random_mapping;
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    // Reduced sweep: 9 topologies x 15 mappings (full scale: the fig5
+    // binary in noc-experiments).
+    let cfg = Fig5Config::paper().reduced(9, 15);
+    let results = fig5::run(&cfg);
+    println!(
+        "\n=== Figure 5 (reduced: {} mappings/topology) ===\n{}",
+        cfg.mappings_per_topology,
+        fig5::render(&results, &cfg)
+    );
+    println!(
+        "max IBN2-XLWX gap: {:.0} pp\n",
+        fig5::max_ibn_xlwx_gap(&results)
+    );
+
+    let app = av_benchmark();
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("map-av/5x5", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(random_mapping(&app, 5, 5, NocConfig::default(), seed).unwrap())
+        })
+    });
+    group.bench_function("judge-av/5x5/IBN", |b| {
+        let mapped = random_mapping(&app, 5, 5, NocConfig::default(), 7).unwrap();
+        b.iter(|| BufferAware.analyze(black_box(mapped.system())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

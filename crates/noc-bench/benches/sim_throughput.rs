@@ -1,0 +1,37 @@
+//! Bench X4: simulator throughput (simulated cycles per wall-clock second)
+//! on the didactic system and on a dense 4×4 workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_bench::dense_sim_system;
+use noc_model::prelude::*;
+use noc_sim::prelude::*;
+use noc_workload::didactic;
+use std::hint::black_box;
+
+fn throughput(c: &mut Criterion) {
+    const CYCLES: u64 = 10_000;
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(CYCLES));
+
+    let systems = [
+        ("didactic-6r", didactic::system(10)),
+        ("dense-4x4", dense_sim_system(11)),
+    ];
+    for (name, system) in &systems {
+        group.bench_function(format!("{name}/10k-cycles"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(system, ReleasePlan::synchronous(system));
+                sim.run_until(Cycles::new(CYCLES));
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = throughput
+}
+criterion_main!(benches);

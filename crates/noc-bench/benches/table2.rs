@@ -1,0 +1,50 @@
+//! Bench T1/T2: regenerates Tables I and II (reduced offset sweep) and
+//! measures the cost of each analysis and of one didactic simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_analysis::prelude::*;
+use noc_experiments::table2;
+use noc_model::prelude::*;
+use noc_sim::prelude::*;
+use noc_workload::didactic;
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    // Regenerate the paper's tables once (coarse 10-cycle sweep).
+    println!(
+        "\n=== Table I (flow parameters) ===\n{}",
+        table2::render_table_i()
+    );
+    let results = table2::run(10);
+    println!(
+        "=== Table II (analysis + simulation, sweep step 10) ===\n{}",
+        table2::render_table_ii(&results)
+    );
+
+    let system = didactic::system(10);
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("analysis/SB", |b| {
+        b.iter(|| ShiBurns.analyze(black_box(&system)).unwrap())
+    });
+    group.bench_function("analysis/XLWX", |b| {
+        b.iter(|| Xlwx.analyze(black_box(&system)).unwrap())
+    });
+    group.bench_function("analysis/IBN", |b| {
+        b.iter(|| BufferAware.analyze(black_box(&system)).unwrap())
+    });
+    group.bench_function("simulation/18k-cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&system, ReleasePlan::synchronous(&system));
+            sim.run_until(Cycles::new(18_000));
+            black_box(sim.flow_stats(FlowId::new(2)).worst_latency())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = regenerate_and_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared fixtures for the criterion benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables/figures at
+//! reduced scale (printed once, before timing) and then measures the
+//! runtime of the underlying computation. Scale the printed series up to
+//! the paper's full parameters with the experiment binaries in
+//! `noc-experiments` (`cargo run --release -p noc-experiments --bin …`).
+
+use noc_model::prelude::*;
+use noc_workload::synthetic::SyntheticSpec;
+
+/// A deterministic synthetic system for performance measurements.
+pub fn bench_system(mesh: u16, n_flows: usize, buffer: u32, seed: u64) -> System {
+    SyntheticSpec::paper(mesh, mesh, n_flows, buffer)
+        .generate(seed)
+        .into_system()
+}
+
+/// A dense small system whose simulation stays busy (for simulator
+/// throughput measurements).
+pub fn dense_sim_system(seed: u64) -> System {
+    let mut spec = SyntheticSpec::paper(4, 4, 12, 4);
+    spec.period_range = (500, 5_000);
+    spec.length_range = (16, 128);
+    spec.generate(seed).into_system()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = bench_system(4, 20, 2, 1);
+        let b = bench_system(4, 20, 2, 1);
+        assert_eq!(a.flows().len(), b.flows().len());
+        for id in a.flows().ids() {
+            assert_eq!(a.flow(id), b.flow(id));
+        }
+        assert_eq!(dense_sim_system(3).flows().len(), 12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Tables I and II of the paper (didactic example, §V).
+//!
+//! ```text
+//! cargo run --release -p noc-experiments --bin table2
+//! ```
+//!
+//! Environment:
+//! * `NOC_MPB_SWEEP_STEP` — offset-sweep granularity in cycles (default 1,
+//!   the exhaustive search).
+
+use noc_experiments::table2;
+
+fn main() {
+    let step: u64 = std::env::var("NOC_MPB_SWEEP_STEP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    println!("TABLE I: Flow parameters\n");
+    println!("{}", table2::render_table_i());
+    println!("TABLE II: Analysis and simulation results (offset sweep step = {step})\n");
+    let results = table2::run(step);
+    println!("{}", table2::render_table_ii(&results));
+    println!("Paper values for comparison:");
+    println!("  R_SB   = [62, 328, 336]   R_XLWX = [62, 328, 460]");
+    println!("  R_IBN  = [62, 328, 396] (b=10), [62, 328, 348] (b=2)");
+    println!("  R_sim  = [62, 324, 352] (b=10), [62, 324, 336] (b=2)");
+}

@@ -1,0 +1,168 @@
+//! Experiment X1: schedulability as a function of buffer depth.
+//!
+//! §VI of the paper: "We have performed the same experiments with a range
+//! of different buffer sizes between 2 and 100 … in every case, the
+//! analysis was able to guarantee schedulability of a smaller number of
+//! flow sets when considering routers with larger buffers." This
+//! experiment reproduces that (unplotted) observation as a table: the
+//! percentage of schedulable flow sets under IBN for each buffer depth,
+//! with XLWX as the buffer-independent floor.
+
+use noc_analysis::prelude::*;
+use noc_workload::synthetic::SyntheticSpec;
+
+use crate::runner::{default_threads, par_map_indexed};
+use crate::table::TextTable;
+
+/// Configuration of the buffer-depth sweep.
+#[derive(Debug, Clone)]
+pub struct BufferSweepConfig {
+    /// Mesh width.
+    pub mesh_width: u16,
+    /// Mesh height.
+    pub mesh_height: u16,
+    /// Flows per set (pick a value where Figure 4 shows separation).
+    pub n_flows: usize,
+    /// Buffer depths to evaluate.
+    pub buffer_depths: Vec<u32>,
+    /// Flow sets per depth.
+    pub sets: usize,
+    /// Base RNG seed.
+    pub seed_base: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl BufferSweepConfig {
+    /// The paper's remark: buffers 2..100 on the 4×4 platform, at a load
+    /// where Figure 4(a) separates the analyses.
+    pub fn paper() -> BufferSweepConfig {
+        BufferSweepConfig {
+            mesh_width: 4,
+            mesh_height: 4,
+            n_flows: 160,
+            buffer_depths: vec![2, 4, 8, 16, 32, 64, 100],
+            sets: 100,
+            seed_base: 0xB0F5,
+            threads: default_threads(),
+        }
+    }
+
+    /// Scales the experiment down for quick runs.
+    #[must_use]
+    pub fn reduced(mut self, sets: usize) -> BufferSweepConfig {
+        self.sets = sets;
+        self
+    }
+}
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferSweepPoint {
+    /// Buffer depth `buf(Ξ)`.
+    pub buffer_depth: u32,
+    /// % of sets schedulable under IBN at this depth.
+    pub ibn: f64,
+}
+
+/// Results of the buffer-depth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferSweepResults {
+    /// One point per depth, in ascending depth order.
+    pub points: Vec<BufferSweepPoint>,
+    /// % of sets schedulable under XLWX (buffer-independent floor).
+    pub xlwx: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &BufferSweepConfig) -> BufferSweepResults {
+    // Generate each set once (buffer depth is swapped per analysis run).
+    let spec = SyntheticSpec::paper(config.mesh_width, config.mesh_height, config.n_flows, 2);
+    let per_set: Vec<(Vec<bool>, bool)> = par_map_indexed(config.sets, config.threads, |s| {
+        let seed = config
+            .seed_base
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(s as u64);
+        let system = spec.generate(seed).into_system();
+        let ibn: Vec<bool> = config
+            .buffer_depths
+            .iter()
+            .map(|&b| {
+                BufferAware
+                    .analyze(&system.with_buffer_depth(b))
+                    .map(|r| r.is_schedulable())
+                    .unwrap_or(false)
+            })
+            .collect();
+        let xlwx = Xlwx
+            .analyze(&system)
+            .map(|r| r.is_schedulable())
+            .unwrap_or(false);
+        (ibn, xlwx)
+    });
+    let n = per_set.len() as f64;
+    let points = config
+        .buffer_depths
+        .iter()
+        .enumerate()
+        .map(|(i, &buffer_depth)| BufferSweepPoint {
+            buffer_depth,
+            ibn: 100.0 * per_set.iter().filter(|(ibn, _)| ibn[i]).count() as f64 / n,
+        })
+        .collect();
+    let xlwx = 100.0 * per_set.iter().filter(|(_, x)| *x).count() as f64 / n;
+    BufferSweepResults { points, xlwx }
+}
+
+/// Renders the sweep as a table.
+pub fn render(results: &BufferSweepResults) -> String {
+    let mut t = TextTable::new(vec!["buf(Ξ)", "% schedulable (IBN)"]);
+    for p in &results.points {
+        t.add_row(vec![p.buffer_depth.to_string(), format!("{:.0}", p.ibn)]);
+    }
+    t.add_row(vec![
+        "XLWX (any buf)".into(),
+        format!("{:.0}", results.xlwx),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedulability_monotone_in_buffer_depth() {
+        let cfg = BufferSweepConfig {
+            n_flows: 120,
+            buffer_depths: vec![2, 16, 100],
+            sets: 10,
+            threads: 4,
+            ..BufferSweepConfig::paper()
+        };
+        let results = run(&cfg);
+        for pair in results.points.windows(2) {
+            assert!(
+                pair[0].ibn >= pair[1].ibn,
+                "schedulability should not improve with larger buffers: {pair:?}"
+            );
+        }
+        // IBN at any depth dominates XLWX.
+        for p in &results.points {
+            assert!(p.ibn >= results.xlwx);
+        }
+    }
+
+    #[test]
+    fn render_includes_floor() {
+        let cfg = BufferSweepConfig {
+            n_flows: 60,
+            buffer_depths: vec![2, 100],
+            sets: 5,
+            threads: 2,
+            ..BufferSweepConfig::paper()
+        };
+        let out = render(&run(&cfg));
+        assert!(out.contains("XLWX (any buf)"));
+    }
+}

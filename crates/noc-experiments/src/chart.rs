@@ -1,0 +1,154 @@
+//! Minimal ASCII chart rendering for schedulability curves.
+//!
+//! The paper's Figures 4 and 5 are line/bar charts; the experiment binaries
+//! print the exact numbers as tables *and* sketch the curves with this
+//! renderer so the shape (orderings, crossovers) is visible at a glance in
+//! a terminal.
+
+/// One named series of y-values in `[0, 100]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Single-character glyph used to plot the series.
+    pub glyph: char,
+    /// Series name for the legend.
+    pub name: String,
+    /// Y values (percentages), one per x position.
+    pub values: Vec<f64>,
+}
+
+/// Renders percentage series as a column chart: one text column per x
+/// position, y resolution of `rows` character cells (default via
+/// [`render_curves`] is 11 → 10-percentage-point cells).
+///
+/// Overlapping points print the glyph of the *later* series in the slice,
+/// so list the most important series last.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_experiments::chart::{render_curves_with_rows, Series};
+/// let chart = render_curves_with_rows(
+///     &[Series { glyph: 'x', name: "XLWX".into(), values: vec![100.0, 50.0, 0.0] }],
+///     &["40", "60", "80"],
+///     5,
+/// );
+/// assert!(chart.contains('x'));
+/// assert!(chart.contains("XLWX"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if series lengths disagree with the label count or `rows < 2`.
+pub fn render_curves_with_rows(series: &[Series], x_labels: &[&str], rows: usize) -> String {
+    assert!(rows >= 2, "need at least two chart rows");
+    for s in series {
+        assert_eq!(
+            s.values.len(),
+            x_labels.len(),
+            "series '{}' length mismatch",
+            s.name
+        );
+    }
+    let cols = x_labels.len();
+    let mut grid = vec![vec![' '; cols]; rows];
+    for s in series {
+        for (x, &v) in s.values.iter().enumerate() {
+            let clamped = v.clamp(0.0, 100.0);
+            // Row 0 is the top (100%); row rows-1 is 0%.
+            let cell = ((100.0 - clamped) / 100.0 * (rows - 1) as f64).round() as usize;
+            grid[cell.min(rows - 1)][x] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let pct = 100.0 - (r as f64 / (rows - 1) as f64) * 100.0;
+        out.push_str(&format!("{pct:>5.0}% |"));
+        for &c in row {
+            out.push(' ');
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out.push_str("       ");
+    for _ in 0..cols {
+        out.push_str("--");
+    }
+    out.push('\n');
+    // X labels, vertical if longer than one character.
+    let max_label = x_labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    for line in 0..max_label {
+        out.push_str("       ");
+        for label in x_labels {
+            out.push(' ');
+            out.push(label.chars().nth(line).unwrap_or(' '));
+        }
+        out.push('\n');
+    }
+    out.push_str("legend:");
+    for s in series {
+        out.push_str(&format!(" {}={}", s.glyph, s.name));
+    }
+    out.push('\n');
+    out
+}
+
+/// [`render_curves_with_rows`] with an 11-row grid (10-point resolution).
+pub fn render_curves(series: &[Series], x_labels: &[&str]) -> String {
+    render_curves_with_rows(series, x_labels, 11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(glyph: char, values: Vec<f64>) -> Series {
+        Series {
+            glyph,
+            name: glyph.to_string(),
+            values,
+        }
+    }
+
+    #[test]
+    fn plots_extremes_on_correct_rows() {
+        let chart = render_curves(&[series('a', vec![100.0, 0.0])], &["1", "2"]);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].starts_with("  100%"));
+        assert!(lines[0].contains('a'), "100% value on top row");
+        assert!(lines[10].starts_with("    0%"));
+        assert!(lines[10].contains('a'), "0% value on bottom row");
+    }
+
+    #[test]
+    fn later_series_wins_overlap() {
+        let chart = render_curves(&[series('a', vec![50.0]), series('b', vec![50.0])], &["x"]);
+        assert!(!chart.lines().nth(5).unwrap().contains('a'));
+        assert!(chart.lines().nth(5).unwrap().contains('b'));
+    }
+
+    #[test]
+    fn vertical_labels_and_legend() {
+        let chart = render_curves(&[series('z', vec![10.0, 90.0])], &["40", "420"]);
+        assert!(chart.contains("legend: z=z"));
+        // the multi-char label is rendered vertically: its digits appear on
+        // consecutive lines.
+        let label_lines: Vec<&str> = chart
+            .lines()
+            .filter(|l| !l.contains('%') && !l.contains("legend") && !l.contains('-'))
+            .collect();
+        assert_eq!(label_lines.len(), 3, "{chart}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = render_curves(&[series('a', vec![1.0])], &["1", "2"]);
+    }
+
+    #[test]
+    fn values_clamped() {
+        let chart = render_curves(&[series('c', vec![150.0, -20.0])], &["a", "b"]);
+        assert!(chart.lines().next().unwrap().contains('c'));
+        assert!(chart.lines().nth(10).unwrap().contains('c'));
+    }
+}

@@ -1,0 +1,182 @@
+//! Experiment T1/T2: the didactic example — Tables I and II of the paper.
+//!
+//! Reproduces the analytical bounds R_SB, R_XLWX, R_IBN(b=10), R_IBN(b=2)
+//! and the simulated worst observed latencies R^sim(b=10), R^sim(b=2) for
+//! the three flows of Figure 3.
+
+use noc_analysis::prelude::*;
+use noc_model::prelude::*;
+use noc_sim::prelude::*;
+use noc_workload::didactic::{self, DidacticFlows, TABLE_I};
+
+use crate::table::TextTable;
+
+/// Results of the didactic experiment for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Flow index (0 → τ1, 1 → τ2, 2 → τ3).
+    pub flow: usize,
+    /// Shi & Burns bound (buffer-independent).
+    pub r_sb: u64,
+    /// XLWX bound (buffer-independent).
+    pub r_xlwx: u64,
+    /// IBN bound with 10-flit buffers.
+    pub r_ibn_b10: u64,
+    /// IBN bound with 2-flit buffers.
+    pub r_ibn_b2: u64,
+    /// Worst observed latency with 10-flit buffers.
+    pub sim_b10: u64,
+    /// Worst observed latency with 2-flit buffers.
+    pub sim_b2: u64,
+}
+
+/// Full results of the didactic experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Results {
+    /// One row per flow, in τ1, τ2, τ3 order.
+    pub rows: Vec<Table2Row>,
+    /// Offset step used for the simulation sweep (1 = exhaustive).
+    pub sweep_step: u64,
+}
+
+/// Worst observed latencies [τ1, τ2, τ3] under a sweep of τ1's release
+/// offset over its period in steps of `step` cycles.
+pub fn simulate_worst(buffer: u32, step: u64) -> [u64; 3] {
+    assert!(step >= 1, "sweep step must be at least one cycle");
+    let f = DidacticFlows::ids();
+    let sys = didactic::system(buffer);
+    let period_tau1 = sys.flow(f.tau1).period().as_u64();
+    let mut worst = [0u64; 3];
+    let mut offset = 0;
+    while offset < period_tau1 {
+        let plan = ReleasePlan::synchronous(&sys).with_offset(f.tau1, Cycles::new(offset));
+        let mut sim = Simulator::new(&sys, plan);
+        sim.run_until(Cycles::new(18_000));
+        for (slot, id) in [f.tau1, f.tau2, f.tau3].iter().enumerate() {
+            if let Some(w) = sim.flow_stats(*id).worst_latency() {
+                worst[slot] = worst[slot].max(w.as_u64());
+            }
+        }
+        offset += step;
+    }
+    worst
+}
+
+/// Runs the full didactic experiment. `sweep_step = 1` reproduces the
+/// exhaustive offset search (a few hundred short simulations).
+pub fn run(sweep_step: u64) -> Table2Results {
+    let bounds = |analysis: &dyn Analysis, buffer: u32| -> [u64; 3] {
+        let sys = didactic::system(buffer);
+        let report = analysis.analyze(&sys).expect("didactic system analyses");
+        let f = DidacticFlows::ids();
+        [f.tau1, f.tau2, f.tau3].map(|id| report.response_time(id).expect("schedulable").as_u64())
+    };
+    let sb = bounds(&ShiBurns, 2);
+    let xlwx = bounds(&Xlwx, 2);
+    let ibn10 = bounds(&BufferAware, 10);
+    let ibn2 = bounds(&BufferAware, 2);
+    let sim10 = simulate_worst(10, sweep_step);
+    let sim2 = simulate_worst(2, sweep_step);
+    Table2Results {
+        rows: (0..3)
+            .map(|i| Table2Row {
+                flow: i,
+                r_sb: sb[i],
+                r_xlwx: xlwx[i],
+                r_ibn_b10: ibn10[i],
+                r_ibn_b2: ibn2[i],
+                sim_b10: sim10[i],
+                sim_b2: sim2[i],
+            })
+            .collect(),
+        sweep_step,
+    }
+}
+
+/// Renders Table I (the flow parameters).
+pub fn render_table_i() -> String {
+    let sys = didactic::system(2);
+    let f = DidacticFlows::ids();
+    let mut t = TextTable::new(vec!["flow", "C (L, |route|)", "T", "D", "J", "P"]);
+    for (i, id) in [f.tau1, f.tau2, f.tau3].iter().enumerate() {
+        let (p, l, period, d, j) = TABLE_I[i];
+        t.add_row(vec![
+            format!("τ{}", i + 1),
+            format!(
+                "{} ({}, {})",
+                sys.zero_load_latency(*id).as_u64(),
+                l,
+                sys.route(*id).len()
+            ),
+            period.to_string(),
+            d.to_string(),
+            j.to_string(),
+            p.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table II (analysis and simulation results).
+pub fn render_table_ii(results: &Table2Results) -> String {
+    let mut t = TextTable::new(vec![
+        "flow",
+        "R_SB",
+        "R_XLWX",
+        "R_IBN b=10",
+        "R_IBN b=2",
+        "R_sim b=10",
+        "R_sim b=2",
+    ]);
+    for row in &results.rows {
+        t.add_row(vec![
+            format!("τ{}", row.flow + 1),
+            row.r_sb.to_string(),
+            row.r_xlwx.to_string(),
+            row.r_ibn_b10.to_string(),
+            row.r_ibn_b2.to_string(),
+            row.sim_b10.to_string(),
+            row.sim_b2.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_columns_match_paper() {
+        // Coarse sweep keeps the test fast; analytical columns are exact.
+        let r = run(20);
+        let tau3 = r.rows[2];
+        assert_eq!(tau3.r_sb, 336);
+        assert_eq!(tau3.r_xlwx, 460);
+        assert_eq!(tau3.r_ibn_b10, 396);
+        assert_eq!(tau3.r_ibn_b2, 348);
+        assert_eq!(r.rows[0].r_sb, 62);
+        assert_eq!(r.rows[1].r_sb, 328);
+    }
+
+    #[test]
+    fn simulation_below_safe_bounds() {
+        let r = run(20);
+        for row in &r.rows {
+            assert!(row.sim_b10 <= row.r_ibn_b10);
+            assert!(row.sim_b2 <= row.r_ibn_b2);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = render_table_i();
+        assert!(t1.contains("62 (60, 3)"));
+        assert!(t1.contains("204 (198, 7)"));
+        assert!(t1.contains("132 (128, 5)"));
+        let r = run(50);
+        let t2 = render_table_ii(&r);
+        assert!(t2.contains("460"));
+        assert!(t2.contains("τ3"));
+    }
+}

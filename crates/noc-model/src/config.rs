@@ -1,0 +1,204 @@
+//! Homogeneous network configuration parameters.
+
+use std::fmt;
+
+use crate::time::Cycles;
+
+/// Architectural parameters shared by every router of a homogeneous network:
+/// the paper's `buf(Ξ)`, `vc(Ξ)`, `linkl(Ξ)` and `routl(Ξ)`.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::config::NocConfig;
+/// # use noc_model::time::Cycles;
+/// // The didactic example of the paper: routl = 0, linkl = 1, 2-flit buffers.
+/// let cfg = NocConfig::builder()
+///     .buffer_depth(2)
+///     .link_latency(Cycles::new(1))
+///     .routing_latency(Cycles::ZERO)
+///     .build();
+/// assert_eq!(cfg.buffer_depth(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NocConfig {
+    buffer_depth: u32,
+    link_latency: Cycles,
+    routing_latency: Cycles,
+    virtual_channels: Option<u32>,
+}
+
+impl NocConfig {
+    /// Starts building a configuration. Defaults: 2-flit buffers,
+    /// `linkl = 1`, `routl = 0`, virtual channels sized automatically to the
+    /// number of priority levels in the flow set.
+    pub fn builder() -> NocConfigBuilder {
+        NocConfigBuilder {
+            config: NocConfig::default(),
+        }
+    }
+
+    /// FIFO buffer depth per virtual channel, in flits — the paper's
+    /// `buf(Ξ)`.
+    pub fn buffer_depth(&self) -> u32 {
+        self.buffer_depth
+    }
+
+    /// Time for a router to transmit one flit over a link — `linkl(Ξ)`.
+    pub fn link_latency(&self) -> Cycles {
+        self.link_latency
+    }
+
+    /// Time to route a header flit at a router — `routl(Ξ)`.
+    pub fn routing_latency(&self) -> Cycles {
+        self.routing_latency
+    }
+
+    /// Explicitly configured number of virtual channels per router
+    /// (`vc(Ξ)`), or `None` when sized automatically.
+    pub fn virtual_channels(&self) -> Option<u32> {
+        self.virtual_channels
+    }
+
+    /// Returns a copy of this configuration with a different buffer depth —
+    /// the knob the IBN analysis is sensitive to.
+    #[must_use]
+    pub fn with_buffer_depth(mut self, depth: u32) -> NocConfig {
+        self.buffer_depth = depth;
+        self
+    }
+}
+
+impl Default for NocConfig {
+    /// A minimal full-throughput configuration: 2-flit buffers, single-cycle
+    /// links, zero routing latency, auto-sized virtual channels.
+    fn default() -> Self {
+        NocConfig {
+            buffer_depth: 2,
+            link_latency: Cycles::ONE,
+            routing_latency: Cycles::ZERO,
+            virtual_channels: None,
+        }
+    }
+}
+
+impl fmt::Display for NocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buf={} linkl={} routl={} vc={}",
+            self.buffer_depth,
+            self.link_latency,
+            self.routing_latency,
+            match self.virtual_channels {
+                Some(v) => v.to_string(),
+                None => "auto".into(),
+            }
+        )
+    }
+}
+
+/// Builder for [`NocConfig`] ([C-BUILDER]).
+#[derive(Debug, Clone)]
+pub struct NocConfigBuilder {
+    config: NocConfig,
+}
+
+impl NocConfigBuilder {
+    /// Sets the per-VC FIFO depth in flits (`buf(Ξ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero: wormhole switching needs at least one flit
+    /// of buffering per VC.
+    pub fn buffer_depth(mut self, depth: u32) -> Self {
+        assert!(depth >= 1, "buffer depth must be at least one flit");
+        self.config.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the link traversal latency (`linkl(Ξ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero: flits cannot cross links instantly.
+    pub fn link_latency(mut self, latency: Cycles) -> Self {
+        assert!(!latency.is_zero(), "link latency must be positive");
+        self.config.link_latency = latency;
+        self
+    }
+
+    /// Sets the header routing latency (`routl(Ξ)`); zero is allowed and is
+    /// what the paper's didactic example uses.
+    pub fn routing_latency(mut self, latency: Cycles) -> Self {
+        self.config.routing_latency = latency;
+        self
+    }
+
+    /// Fixes the number of virtual channels (`vc(Ξ)`) instead of sizing it
+    /// automatically from the flow set.
+    pub fn virtual_channels(mut self, vcs: u32) -> Self {
+        self.config.virtual_channels = Some(vcs);
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> NocConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_documentation() {
+        let cfg = NocConfig::default();
+        assert_eq!(cfg.buffer_depth(), 2);
+        assert_eq!(cfg.link_latency(), Cycles::ONE);
+        assert_eq!(cfg.routing_latency(), Cycles::ZERO);
+        assert_eq!(cfg.virtual_channels(), None);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let cfg = NocConfig::builder()
+            .buffer_depth(10)
+            .link_latency(Cycles::new(2))
+            .routing_latency(Cycles::new(1))
+            .virtual_channels(8)
+            .build();
+        assert_eq!(cfg.buffer_depth(), 10);
+        assert_eq!(cfg.link_latency(), Cycles::new(2));
+        assert_eq!(cfg.routing_latency(), Cycles::new(1));
+        assert_eq!(cfg.virtual_channels(), Some(8));
+    }
+
+    #[test]
+    fn with_buffer_depth_changes_only_depth() {
+        let base = NocConfig::builder().buffer_depth(2).build();
+        let big = base.with_buffer_depth(100);
+        assert_eq!(big.buffer_depth(), 100);
+        assert_eq!(big.link_latency(), base.link_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer depth")]
+    fn zero_buffer_rejected() {
+        let _ = NocConfig::builder().buffer_depth(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link latency")]
+    fn zero_link_latency_rejected() {
+        let _ = NocConfig::builder().link_latency(Cycles::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_every_field() {
+        let s = NocConfig::default().to_string();
+        assert!(s.contains("buf=2"));
+        assert!(s.contains("vc=auto"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{FlowId, NodeId};
+
+/// Errors raised while constructing or validating model entities.
+///
+/// All validation in this crate is eager ([C-VALIDATE]): a successfully
+/// constructed [`System`](crate::system::System) satisfies every assumption
+/// the analyses in `noc-analysis` rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The same directed link was added to a topology twice.
+    DuplicateLink {
+        /// Source endpoint (formatted).
+        source: String,
+        /// Target endpoint (formatted).
+        target: String,
+    },
+    /// A route could not be constructed between two nodes.
+    NoRoute {
+        /// Source node.
+        source: NodeId,
+        /// Destination node.
+        dest: NodeId,
+        /// Why the routing function failed.
+        reason: String,
+    },
+    /// A route is not a connected chain of links from source to destination.
+    BrokenRoute {
+        /// Description of the discontinuity.
+        detail: String,
+    },
+    /// A flow is malformed (zero period, deadline > period, zero length, …).
+    InvalidFlow {
+        /// The offending flow.
+        flow: FlowId,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Two flows share a priority level; the priority-preemptive VC model
+    /// requires distinct priorities.
+    DuplicatePriority {
+        /// First flow with the shared priority.
+        first: FlowId,
+        /// Second flow with the shared priority.
+        second: FlowId,
+        /// The shared priority level.
+        level: u32,
+    },
+    /// The configured number of virtual channels cannot distinguish all
+    /// priority levels in the flow set.
+    InsufficientVirtualChannels {
+        /// Virtual channels provided by each router.
+        available: u32,
+        /// Distinct priority levels required by the flow set.
+        required: u32,
+    },
+    /// The shared links of two routes do not form one contiguous segment
+    /// traversed in the same order by both flows — the paper's contention
+    /// domain assumption (§II) is violated.
+    NonContiguousContentionDomain {
+        /// First flow of the pair.
+        first: FlowId,
+        /// Second flow of the pair.
+        second: FlowId,
+    },
+    /// A flow references a node that does not exist in the topology.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateLink { source, target } => {
+                write!(f, "duplicate link {source}→{target}")
+            }
+            ModelError::NoRoute {
+                source,
+                dest,
+                reason,
+            } => {
+                write!(f, "no route from {source} to {dest}: {reason}")
+            }
+            ModelError::BrokenRoute { detail } => write!(f, "broken route: {detail}"),
+            ModelError::InvalidFlow { flow, reason } => {
+                write!(f, "invalid flow {flow}: {reason}")
+            }
+            ModelError::DuplicatePriority {
+                first,
+                second,
+                level,
+            } => write!(f, "flows {first} and {second} share priority level {level}"),
+            ModelError::InsufficientVirtualChannels {
+                available,
+                required,
+            } => write!(
+                f,
+                "routers provide {available} virtual channels but the flow set \
+                 has {required} distinct priority levels"
+            ),
+            ModelError::NonContiguousContentionDomain { first, second } => write!(
+                f,
+                "contention domain of flows {first} and {second} is not a \
+                 contiguous, identically-ordered segment of links"
+            ),
+            ModelError::UnknownNode { node } => {
+                write!(f, "node {node} does not exist in the topology")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ModelError::InsufficientVirtualChannels {
+            available: 2,
+            required: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 virtual channels"));
+        assert!(msg.contains("5 distinct priority levels"));
+
+        let e = ModelError::DuplicatePriority {
+            first: FlowId::new(0),
+            second: FlowId::new(3),
+            level: 4,
+        };
+        assert_eq!(e.to_string(), "flows f0 and f3 share priority level 4");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,188 @@
+//! Strongly-typed identifiers for the entities of the network model.
+//!
+//! All identifiers are thin newtypes over dense indices ([C-NEWTYPE]): a
+//! [`NodeId`] indexes into the node table of a
+//! [`Topology`](crate::topology::Topology), a [`RouterId`] into its router
+//! table, a [`LinkId`] into its link table and a [`FlowId`] into the flow
+//! table of a [`FlowSet`](crate::flow::FlowSet). Using distinct types keeps
+//! node/router/link/flow indices from being confused at compile time.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a dense index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use noc_model::ids::NodeId;
+            /// let n = NodeId::new(3);
+            /// assert_eq!(n.index(), 3);
+            /// ```
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index backing this identifier.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value backing this identifier.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a processing node (π in the paper's notation).
+    ///
+    /// Nodes are traffic sources and destinations; each node is attached to
+    /// exactly one router through a pair of unidirectional links.
+    NodeId,
+    "n"
+);
+
+define_id!(
+    /// Identifier of a router (ξ in the paper's notation).
+    RouterId,
+    "r"
+);
+
+define_id!(
+    /// Identifier of a unidirectional link (λ in the paper's notation).
+    ///
+    /// Links connect either a node to its router (injection), a router to a
+    /// node (ejection), or two adjacent routers.
+    LinkId,
+    "l"
+);
+
+define_id!(
+    /// Identifier of a real-time traffic flow (τ in the paper's notation).
+    FlowId,
+    "f"
+);
+
+/// Fixed priority of a traffic flow.
+///
+/// Follows the paper's convention: **1 denotes the highest priority** and
+/// larger integers denote lower priorities. [`Priority::is_higher_than`]
+/// encapsulates the comparison so call sites never get the direction wrong.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::ids::Priority;
+/// let urgent = Priority::new(1);
+/// let relaxed = Priority::new(7);
+/// assert!(urgent.is_higher_than(relaxed));
+/// assert!(!relaxed.is_higher_than(urgent));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u32);
+
+impl Priority {
+    /// Highest possible priority (value 1).
+    pub const HIGHEST: Priority = Priority(1);
+
+    /// Creates a priority from its integer level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero; the paper's priority scale starts at 1.
+    pub fn new(level: u32) -> Self {
+        assert!(level >= 1, "priority levels start at 1 (1 = highest)");
+        Self(level)
+    }
+
+    /// Returns the integer level (1 = highest).
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if `self` is a strictly higher priority than `other`
+    /// (i.e. its level is numerically smaller).
+    pub const fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(NodeId::new(7).index(), 7);
+        assert_eq!(RouterId::new(0).index(), 0);
+        assert_eq!(LinkId::new(41).raw(), 41);
+        assert_eq!(FlowId::from(9u32).index(), 9);
+        assert_eq!(u32::from(FlowId::new(9)), 9);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId::new(2).to_string(), "n2");
+        assert_eq!(RouterId::new(3).to_string(), "r3");
+        assert_eq!(LinkId::new(4).to_string(), "l4");
+        assert_eq!(FlowId::new(5).to_string(), "f5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(LinkId::new(10) > LinkId::new(9));
+    }
+
+    #[test]
+    fn priority_one_is_highest() {
+        assert!(Priority::new(1).is_higher_than(Priority::new(2)));
+        assert!(!Priority::new(2).is_higher_than(Priority::new(2)));
+        assert!(!Priority::new(3).is_higher_than(Priority::new(2)));
+        assert_eq!(Priority::HIGHEST, Priority::new(1));
+    }
+
+    #[test]
+    fn priority_display() {
+        assert_eq!(Priority::new(4).to_string(), "P4");
+    }
+
+    #[test]
+    #[should_panic(expected = "priority levels start at 1")]
+    fn priority_zero_rejected() {
+        let _ = Priority::new(0);
+    }
+}

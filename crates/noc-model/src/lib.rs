@@ -1,0 +1,86 @@
+//! System model for real-time priority-preemptive wormhole networks-on-chip.
+//!
+//! This crate implements §II of *"Buffer-aware bounds to multi-point
+//! progressive blocking in priority-preemptive NoCs"* (Indrusiak, Burns &
+//! Nikolić, DATE 2018): network topologies with unidirectional links,
+//! deterministic routing, the real-time traffic-flow model
+//! τᵢ = (Pᵢ, Cᵢ, Tᵢ, Dᵢ, Jᵢ, πˢᵢ, πᵈᵢ), the zero-load latency equation
+//! (Eq. 1), and the contention-domain/interference-set machinery (§III) on
+//! which the response-time analyses of the companion `noc-analysis` crate
+//! are built.
+//!
+//! # Quick start
+//!
+//! ```
+//! use noc_model::prelude::*;
+//!
+//! // A 4x4 mesh with one node per router.
+//! let topology = Topology::mesh(4, 4);
+//!
+//! // Two flows; priority 1 is the highest.
+//! let flows = FlowSet::new(vec![
+//!     Flow::builder(NodeId::new(0), NodeId::new(15))
+//!         .priority(Priority::new(1))
+//!         .period(Cycles::new(2_000))
+//!         .length_flits(64)
+//!         .build(),
+//!     Flow::builder(NodeId::new(4), NodeId::new(7))
+//!         .priority(Priority::new(2))
+//!         .period(Cycles::new(5_000))
+//!         .length_flits(128)
+//!         .build(),
+//! ])?;
+//!
+//! // Routers with 2-flit FIFO buffers per virtual channel, XY routing.
+//! let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
+//! assert_eq!(system.zero_load_latency(FlowId::new(0)).as_u64(), 71);
+//! # Ok::<(), noc_model::error::ModelError>(())
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`ids`] — strongly-typed identifiers ([`NodeId`], [`RouterId`],
+//!   [`LinkId`], [`FlowId`], [`Priority`]).
+//! * [`time`] — the [`Cycles`] time unit.
+//! * [`topology`] — routers, nodes, links, 2D meshes and a builder.
+//! * [`route`], [`routing`] — routes and the XY / table routing functions.
+//! * [`flow`] — flows and validated flow sets.
+//! * [`config`], [`system`] — homogeneous router parameters and the fully
+//!   routed [`System`].
+//! * [`contention`] — contention domains and interference sets.
+//!
+//! [`NodeId`]: ids::NodeId
+//! [`RouterId`]: ids::RouterId
+//! [`LinkId`]: ids::LinkId
+//! [`FlowId`]: ids::FlowId
+//! [`Priority`]: ids::Priority
+//! [`Cycles`]: time::Cycles
+//! [`System`]: system::System
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod contention;
+pub mod error;
+pub mod flow;
+pub mod ids;
+pub mod route;
+pub mod routing;
+pub mod system;
+pub mod time;
+pub mod topology;
+
+/// Convenient re-exports of the types needed by almost every user.
+pub mod prelude {
+    pub use crate::config::NocConfig;
+    pub use crate::contention::InterferenceGraph;
+    pub use crate::error::ModelError;
+    pub use crate::flow::{Flow, FlowSet};
+    pub use crate::ids::{FlowId, LinkId, NodeId, Priority, RouterId};
+    pub use crate::route::Route;
+    pub use crate::routing::{RoutingAlgorithm, TableRouting, XyRouting, YxRouting};
+    pub use crate::system::System;
+    pub use crate::time::Cycles;
+    pub use crate::topology::{Endpoint, Topology, TopologyBuilder};
+}

@@ -1,0 +1,240 @@
+//! Routes: totally ordered sequences of links from a source node to a
+//! destination node.
+//!
+//! The paper's `route(πa, πb)` is the ordered subset of Λ used to transfer
+//! packets from node πa to node πb, *including* the injection link from the
+//! source node and the ejection link to the destination node. The paper's
+//! 1-based `order(λ, route)` function corresponds to [`Route::order`].
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::ids::LinkId;
+use crate::topology::{Endpoint, Topology};
+
+/// A validated route: a connected chain of links starting at a node,
+/// traversing routers, and ending at a node.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::topology::Topology;
+/// # use noc_model::routing::{RoutingAlgorithm, XyRouting};
+/// # use noc_model::ids::NodeId;
+/// let mesh = Topology::mesh(4, 4);
+/// let route = XyRouting
+///     .route(&mesh, NodeId::new(0), NodeId::new(3))
+///     .unwrap();
+/// // 3 hops east + injection + ejection = 5 links (paper: |route|).
+/// assert_eq!(route.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Route {
+    links: Vec<LinkId>,
+}
+
+impl Route {
+    /// Validates and wraps an ordered list of links as a route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BrokenRoute`] unless `links` is non-empty,
+    /// starts at a node, ends at a node, and each link's target equals the
+    /// next link's source.
+    pub fn new(topology: &Topology, links: Vec<LinkId>) -> Result<Route, ModelError> {
+        if links.is_empty() {
+            return Err(ModelError::BrokenRoute {
+                detail: "route has no links".into(),
+            });
+        }
+        let first = topology.link(links[0]);
+        if !matches!(first.source(), Endpoint::Node(_)) {
+            return Err(ModelError::BrokenRoute {
+                detail: format!("route must start at a node, starts at {}", first.source()),
+            });
+        }
+        let last = topology.link(links[links.len() - 1]);
+        if !matches!(last.target(), Endpoint::Node(_)) {
+            return Err(ModelError::BrokenRoute {
+                detail: format!("route must end at a node, ends at {}", last.target()),
+            });
+        }
+        for pair in links.windows(2) {
+            let a = topology.link(pair[0]);
+            let b = topology.link(pair[1]);
+            if a.target() != b.source() {
+                return Err(ModelError::BrokenRoute {
+                    detail: format!(
+                        "link {} ends at {} but next link {} starts at {}",
+                        a,
+                        a.target(),
+                        b,
+                        b.source()
+                    ),
+                });
+            }
+        }
+        // Deterministic minimal routes never revisit a link; a repeat would
+        // also break the per-link ordering the analyses rely on.
+        let mut seen = links.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ModelError::BrokenRoute {
+                detail: "route visits a link twice".into(),
+            });
+        }
+        Ok(Route { links })
+    }
+
+    /// Number of links, the paper's `|route|`.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `false` — a valid route always has at least one link. Provided for
+    /// API completeness alongside [`Route::len`].
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Number of routers traversed, the paper's `|route| − 1`.
+    pub fn hop_count(&self) -> usize {
+        self.links.len() - 1
+    }
+
+    /// The links in traversal order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The first link (the paper's `first(route)`), always the injection
+    /// link of the source node.
+    pub fn first(&self) -> LinkId {
+        self.links[0]
+    }
+
+    /// The last link (the paper's `last(route)`), always the ejection link
+    /// of the destination node.
+    pub fn last(&self) -> LinkId {
+        self.links[self.links.len() - 1]
+    }
+
+    /// 1-based position of `link` on this route — the paper's
+    /// `order(λ, route)`. Returns `None` if the link is not on the route.
+    pub fn order(&self, link: LinkId) -> Option<usize> {
+        self.position(link).map(|p| p + 1)
+    }
+
+    /// 0-based position of `link` on this route.
+    pub fn position(&self, link: LinkId) -> Option<usize> {
+        self.links.iter().position(|&l| l == link)
+    }
+
+    /// `true` if `link` is used by this route.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Iterates over the links in traversal order.
+    pub fn iter(&self) -> std::slice::Iter<'_, LinkId> {
+        self.links.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Route {
+    type Item = &'a LinkId;
+    type IntoIter = std::slice::Iter<'a, LinkId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.links.iter()
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::routing::{RoutingAlgorithm, XyRouting};
+    use crate::topology::Topology;
+
+    fn straight_route() -> (Topology, Route) {
+        let t = Topology::mesh(4, 1);
+        let r = XyRouting.route(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        (t, r)
+    }
+
+    #[test]
+    fn route_endpoints_and_len() {
+        let (t, r) = straight_route();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.hop_count(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.first(), t.injection_link(NodeId::new(0)));
+        assert_eq!(r.last(), t.ejection_link(NodeId::new(3)));
+    }
+
+    #[test]
+    fn order_is_one_based() {
+        let (_, r) = straight_route();
+        assert_eq!(r.order(r.first()), Some(1));
+        assert_eq!(r.order(r.last()), Some(r.len()));
+        assert_eq!(r.position(r.first()), Some(0));
+        assert_eq!(r.order(LinkId::new(9999)), None);
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        let t = Topology::mesh(2, 1);
+        assert!(matches!(
+            Route::new(&t, vec![]),
+            Err(ModelError::BrokenRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_disconnected_chain() {
+        let t = Topology::mesh(3, 1);
+        // injection of n0 followed by ejection of n2 skips routers 1..2.
+        let links = vec![
+            t.injection_link(NodeId::new(0)),
+            t.ejection_link(NodeId::new(2)),
+        ];
+        assert!(matches!(
+            Route::new(&t, links),
+            Err(ModelError::BrokenRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_route_not_starting_at_node() {
+        let t = Topology::mesh(2, 1);
+        let n1 = NodeId::new(1);
+        // starts with an ejection link (router→node): invalid.
+        let links = vec![t.ejection_link(n1)];
+        assert!(matches!(
+            Route::new(&t, links),
+            Err(ModelError::BrokenRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let (_, r) = straight_route();
+        assert_eq!(r.iter().count(), 5);
+        assert_eq!((&r).into_iter().count(), 5);
+        assert!(r.to_string().starts_with('['));
+    }
+}

@@ -1,0 +1,386 @@
+//! Deterministic routing functions.
+//!
+//! The analyses assume deterministic routing with contiguous contention
+//! domains; [`XyRouting`] (dimension-order X-then-Y) is the algorithm used by
+//! the paper's evaluation, and [`TableRouting`] supports hand-crafted routes
+//! such as the didactic example of Figure 3.
+
+use std::collections::HashMap;
+
+use crate::error::ModelError;
+use crate::ids::NodeId;
+use crate::route::Route;
+use crate::topology::{Endpoint, Topology};
+
+/// A deterministic routing function: maps a source/destination node pair to
+/// the unique route between them.
+///
+/// The trait is object-safe ([C-OBJECT]) so heterogeneous routing setups can
+/// be passed as `&dyn RoutingAlgorithm`.
+pub trait RoutingAlgorithm {
+    /// Computes the route from `source` to `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoRoute`] when the algorithm cannot route the
+    /// pair on `topology` (e.g. XY routing on a non-mesh), and
+    /// [`ModelError::UnknownNode`] for out-of-range nodes.
+    fn route(&self, topology: &Topology, source: NodeId, dest: NodeId)
+        -> Result<Route, ModelError>;
+}
+
+/// Dimension order of a deterministic mesh routing function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DimensionOrder {
+    XFirst,
+    YFirst,
+}
+
+fn dimension_order_route(
+    topology: &Topology,
+    source: NodeId,
+    dest: NodeId,
+    order: DimensionOrder,
+) -> Result<Route, ModelError> {
+    check_node(topology, source)?;
+    check_node(topology, dest)?;
+    let no_route = |reason: &str| ModelError::NoRoute {
+        source,
+        dest,
+        reason: reason.into(),
+    };
+    if source == dest {
+        return Err(no_route("source and destination are the same node"));
+    }
+    let src_router = topology.router_of(source);
+    let dst_router = topology.router_of(dest);
+    let src = topology
+        .coord(src_router)
+        .ok_or_else(|| no_route("source router has no mesh coordinate"))?;
+    let dst = topology
+        .coord(dst_router)
+        .ok_or_else(|| no_route("destination router has no mesh coordinate"))?;
+
+    let mut cur = src;
+    let mut waypoints: Vec<(u16, u16)> = Vec::new();
+    let walk_x = |cur: &mut crate::topology::Coord, waypoints: &mut Vec<(u16, u16)>| {
+        while cur.x != dst.x {
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            waypoints.push((cur.x, cur.y));
+        }
+    };
+    let walk_y = |cur: &mut crate::topology::Coord, waypoints: &mut Vec<(u16, u16)>| {
+        while cur.y != dst.y {
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            waypoints.push((cur.x, cur.y));
+        }
+    };
+    match order {
+        DimensionOrder::XFirst => {
+            walk_x(&mut cur, &mut waypoints);
+            walk_y(&mut cur, &mut waypoints);
+        }
+        DimensionOrder::YFirst => {
+            walk_y(&mut cur, &mut waypoints);
+            walk_x(&mut cur, &mut waypoints);
+        }
+    }
+    let mut links = vec![topology.injection_link(source)];
+    let mut at = src;
+    for (x, y) in waypoints {
+        let from = topology
+            .router_at(at.x, at.y)
+            .ok_or_else(|| no_route("current coordinate outside mesh"))?;
+        let to = topology
+            .router_at(x, y)
+            .ok_or_else(|| no_route("next coordinate outside mesh"))?;
+        let link = topology
+            .find_link(Endpoint::Router(from), Endpoint::Router(to))
+            .ok_or_else(|| no_route("missing mesh link"))?;
+        links.push(link);
+        at.x = x;
+        at.y = y;
+    }
+    links.push(topology.ejection_link(dest));
+    Route::new(topology, links)
+}
+
+/// Dimension-order XY routing on a 2D mesh: packets travel fully along the X
+/// dimension, then along Y. Deadlock-free and deterministic; produces
+/// contiguous contention domains (the paper's standing assumption).
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::topology::Topology;
+/// # use noc_model::routing::{RoutingAlgorithm, XyRouting};
+/// # use noc_model::ids::NodeId;
+/// let mesh = Topology::mesh(3, 3);
+/// // node 0 is at (0,0), node 8 at (2,2): 2 hops east, 2 hops north,
+/// // plus the injection and ejection links → |route| = 6.
+/// let route = XyRouting.route(&mesh, NodeId::new(0), NodeId::new(8)).unwrap();
+/// assert_eq!(route.len(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XyRouting;
+
+impl RoutingAlgorithm for XyRouting {
+    fn route(
+        &self,
+        topology: &Topology,
+        source: NodeId,
+        dest: NodeId,
+    ) -> Result<Route, ModelError> {
+        dimension_order_route(topology, source, dest, DimensionOrder::XFirst)
+    }
+}
+
+/// Dimension-order YX routing: the dual of [`XyRouting`] (Y dimension
+/// first). Also deadlock-free with contiguous contention domains; useful
+/// for studying how routing order shifts contention.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::topology::Topology;
+/// # use noc_model::routing::{RoutingAlgorithm, XyRouting, YxRouting};
+/// # use noc_model::ids::NodeId;
+/// let mesh = Topology::mesh(3, 3);
+/// let xy = XyRouting.route(&mesh, NodeId::new(0), NodeId::new(8)).unwrap();
+/// let yx = YxRouting.route(&mesh, NodeId::new(0), NodeId::new(8)).unwrap();
+/// assert_eq!(xy.len(), yx.len());     // same hop count …
+/// assert_ne!(xy.links(), yx.links()); // … different corner
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct YxRouting;
+
+impl RoutingAlgorithm for YxRouting {
+    fn route(
+        &self,
+        topology: &Topology,
+        source: NodeId,
+        dest: NodeId,
+    ) -> Result<Route, ModelError> {
+        dimension_order_route(topology, source, dest, DimensionOrder::YFirst)
+    }
+}
+
+/// Explicit route tables for custom topologies.
+///
+/// Routes are registered per `(source, dest)` pair; lookups for unregistered
+/// pairs fail with [`ModelError::NoRoute`].
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::topology::TopologyBuilder;
+/// # use noc_model::routing::{RoutingAlgorithm, TableRouting};
+/// # use noc_model::route::Route;
+/// let mut b = TopologyBuilder::new();
+/// let r0 = b.add_router();
+/// let r1 = b.add_router();
+/// let a = b.add_node(r0);
+/// let z = b.add_node(r1);
+/// let (l01, _) = b.add_duplex_router_link(r0, r1);
+/// let topo = b.build()?;
+///
+/// let mut table = TableRouting::new();
+/// let route = Route::new(&topo, vec![topo.injection_link(a), l01, topo.ejection_link(z)])?;
+/// table.insert(a, z, route);
+/// assert_eq!(table.route(&topo, a, z)?.len(), 3);
+/// # Ok::<(), noc_model::error::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TableRouting {
+    routes: HashMap<(NodeId, NodeId), Route>,
+}
+
+impl TableRouting {
+    /// Creates an empty route table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the route for a node pair, returning the
+    /// previously registered route if any.
+    pub fn insert(&mut self, source: NodeId, dest: NodeId, route: Route) -> Option<Route> {
+        self.routes.insert((source, dest), route)
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` if no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+impl RoutingAlgorithm for TableRouting {
+    fn route(
+        &self,
+        topology: &Topology,
+        source: NodeId,
+        dest: NodeId,
+    ) -> Result<Route, ModelError> {
+        check_node(topology, source)?;
+        check_node(topology, dest)?;
+        self.routes
+            .get(&(source, dest))
+            .cloned()
+            .ok_or_else(|| ModelError::NoRoute {
+                source,
+                dest,
+                reason: "no entry in route table".into(),
+            })
+    }
+}
+
+fn check_node(topology: &Topology, node: NodeId) -> Result<(), ModelError> {
+    if node.index() >= topology.node_count() {
+        return Err(ModelError::UnknownNode { node });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn mesh_route(w: u16, h: u16, from: (u16, u16), to: (u16, u16)) -> Route {
+        let t = Topology::mesh(w, h);
+        let src = NodeId::new(u32::from(from.0) + u32::from(from.1) * u32::from(w));
+        let dst = NodeId::new(u32::from(to.0) + u32::from(to.1) * u32::from(w));
+        XyRouting.route(&t, src, dst).unwrap()
+    }
+
+    #[test]
+    fn xy_route_length_is_manhattan_plus_one() {
+        // |route| = manhattan distance + injection + ejection − … :
+        // hops = |dx| + |dy|, links = hops + 2 node links → manhattan + 2,
+        // but hop links = manhattan, so |route| = manhattan + 2.
+        for (from, to, manhattan) in [
+            ((0, 0), (3, 0), 3u16),
+            ((0, 0), (0, 3), 3),
+            ((0, 0), (3, 3), 6),
+            ((3, 3), (0, 0), 6),
+            ((1, 2), (2, 0), 3),
+        ] {
+            let r = mesh_route(4, 4, from, to);
+            assert_eq!(r.len(), usize::from(manhattan) + 2, "{from:?}→{to:?}");
+        }
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let t = Topology::mesh(3, 3);
+        let r = XyRouting.route(&t, NodeId::new(0), NodeId::new(8)).unwrap();
+        // route: n0→r0, r0→r1, r1→r2, r2→r5, r5→r8, r8→n8
+        let kinds: Vec<String> = r.iter().map(|&l| t.link(l).to_string()).collect();
+        assert_eq!(
+            kinds,
+            vec!["n0→r0", "r0→r1", "r1→r2", "r2→r5", "r5→r8", "r8→n8"]
+        );
+    }
+
+    #[test]
+    fn xy_westward_and_southward() {
+        let t = Topology::mesh(3, 3);
+        let r = XyRouting.route(&t, NodeId::new(8), NodeId::new(0)).unwrap();
+        let kinds: Vec<String> = r.iter().map(|&l| t.link(l).to_string()).collect();
+        assert_eq!(
+            kinds,
+            vec!["n8→r8", "r8→r7", "r7→r6", "r6→r3", "r3→r0", "r0→n0"]
+        );
+    }
+
+    #[test]
+    fn xy_rejects_self_route() {
+        let t = Topology::mesh(2, 2);
+        assert!(matches!(
+            XyRouting.route(&t, NodeId::new(1), NodeId::new(1)),
+            Err(ModelError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn xy_rejects_unknown_node() {
+        let t = Topology::mesh(2, 2);
+        assert!(matches!(
+            XyRouting.route(&t, NodeId::new(0), NodeId::new(99)),
+            Err(ModelError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn xy_requires_mesh_coordinates() {
+        let mut b = crate::topology::TopologyBuilder::new();
+        let r0 = b.add_router();
+        let r1 = b.add_router();
+        let a = b.add_node(r0);
+        let z = b.add_node(r1);
+        b.add_duplex_router_link(r0, r1);
+        let t = b.build().unwrap();
+        assert!(matches!(
+            XyRouting.route(&t, a, z),
+            Err(ModelError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let t = Topology::mesh(3, 3);
+        let r = YxRouting.route(&t, NodeId::new(0), NodeId::new(8)).unwrap();
+        let kinds: Vec<String> = r.iter().map(|&l| t.link(l).to_string()).collect();
+        assert_eq!(
+            kinds,
+            vec!["n0→r0", "r0→r3", "r3→r6", "r6→r7", "r7→r8", "r8→n8"]
+        );
+    }
+
+    #[test]
+    fn xy_and_yx_agree_on_straight_lines() {
+        let t = Topology::mesh(4, 4);
+        // Same row: only X movement → identical routes.
+        let xy = XyRouting.route(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        let yx = YxRouting.route(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(xy, yx);
+        // Same column: only Y movement → identical routes.
+        let xy = XyRouting
+            .route(&t, NodeId::new(1), NodeId::new(13))
+            .unwrap();
+        let yx = YxRouting
+            .route(&t, NodeId::new(1), NodeId::new(13))
+            .unwrap();
+        assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn yx_rejects_self_route() {
+        let t = Topology::mesh(2, 2);
+        assert!(matches!(
+            YxRouting.route(&t, NodeId::new(1), NodeId::new(1)),
+            Err(ModelError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn table_routing_roundtrip_and_missing() {
+        let t = Topology::mesh(2, 1);
+        let a = NodeId::new(0);
+        let z = NodeId::new(1);
+        let xy = XyRouting.route(&t, a, z).unwrap();
+        let mut table = TableRouting::new();
+        assert!(table.is_empty());
+        table.insert(a, z, xy.clone());
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.route(&t, a, z).unwrap(), xy);
+        assert!(matches!(
+            table.route(&t, z, a),
+            Err(ModelError::NoRoute { .. })
+        ));
+    }
+}

@@ -1,0 +1,431 @@
+//! The complete analysable system: topology + configuration + routed flows.
+
+use crate::config::NocConfig;
+use crate::error::ModelError;
+use crate::flow::{Flow, FlowSet};
+use crate::ids::{FlowId, LinkId, RouterId};
+use crate::route::Route;
+use crate::routing::RoutingAlgorithm;
+use crate::time::Cycles;
+use crate::topology::{Endpoint, Topology};
+
+/// A fully-routed system instance: the inputs every response-time analysis
+/// and the simulator consume.
+///
+/// Constructing a `System` runs all cross-entity validation: every flow is
+/// routed, routes are checked for connectivity, and the configured virtual
+/// channel count (if any) is checked against the number of priority levels.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// let topology = Topology::mesh(4, 4);
+/// let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(15))
+///     .priority(Priority::new(1))
+///     .period(Cycles::new(1_000))
+///     .length_flits(20)
+///     .build()])?;
+/// let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
+/// // Eq. 1: C = routl·(|route|−1) + linkl·|route| + linkl·(L−1)
+/// //          = 0·7 + 1·8 + 1·19 = 27 with the default config.
+/// assert_eq!(system.zero_load_latency(FlowId::new(0)), Cycles::new(27));
+/// # Ok::<(), noc_model::error::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    topology: Topology,
+    config: NocConfig,
+    flows: FlowSet,
+    routes: Vec<Route>,
+    /// Per-router buffer-depth overrides (None = the homogeneous
+    /// `config.buffer_depth()`), indexed by router.
+    buffer_overrides: Vec<Option<u32>>,
+}
+
+impl System {
+    /// Routes every flow over `topology` and validates the assembled system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures ([`ModelError::NoRoute`],
+    /// [`ModelError::BrokenRoute`], [`ModelError::UnknownNode`]) and returns
+    /// [`ModelError::InsufficientVirtualChannels`] when a fixed `vc(Ξ)` is
+    /// smaller than the number of priority levels.
+    pub fn new(
+        topology: Topology,
+        config: NocConfig,
+        flows: FlowSet,
+        routing: &dyn RoutingAlgorithm,
+    ) -> Result<System, ModelError> {
+        if let Some(vcs) = config.virtual_channels() {
+            let required = flows.priority_levels();
+            if vcs < required {
+                return Err(ModelError::InsufficientVirtualChannels {
+                    available: vcs,
+                    required,
+                });
+            }
+        }
+        let mut routes = Vec::with_capacity(flows.len());
+        for (_, flow) in flows.iter() {
+            routes.push(routing.route(&topology, flow.source(), flow.dest())?);
+        }
+        let buffer_overrides = vec![None; topology.router_count()];
+        Ok(System {
+            topology,
+            config,
+            flows,
+            routes,
+            buffer_overrides,
+        })
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The homogeneous router configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// The flow set Γ.
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// The flow τᵢ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        self.flows.flow(id)
+    }
+
+    /// The route of flow `id` (the paper's `routeᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn route(&self, id: FlowId) -> &Route {
+        &self.routes[id.index()]
+    }
+
+    /// Number of virtual channels each router must provide: the explicit
+    /// `vc(Ξ)` if configured, otherwise the number of priority levels.
+    pub fn virtual_channels(&self) -> u32 {
+        self.config
+            .virtual_channels()
+            .unwrap_or_else(|| self.flows.priority_levels())
+    }
+
+    /// Maximum zero-load network latency Cᵢ — Equation 1 of the paper:
+    ///
+    /// ```text
+    /// Cᵢ = routl(Ξ)·(|routeᵢ|−1) + linkl(Ξ)·|routeᵢ| + linkl(Ξ)·(Lᵢ−1)
+    /// ```
+    ///
+    /// the header's per-hop routing and link traversal time plus one link
+    /// time per payload flit pipelined behind it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn zero_load_latency(&self, id: FlowId) -> Cycles {
+        let flow = self.flows.flow(id);
+        let route_len = self.routes[id.index()].len() as u64;
+        let routl = self.config.routing_latency();
+        let linkl = self.config.link_latency();
+        routl * (route_len - 1) + linkl * route_len + linkl * u64::from(flow.length_flits() - 1)
+    }
+
+    /// Zero-load latencies for all flows, indexed by [`FlowId`].
+    pub fn zero_load_latencies(&self) -> Vec<Cycles> {
+        self.flows
+            .ids()
+            .map(|id| self.zero_load_latency(id))
+            .collect()
+    }
+
+    /// Returns a copy of the system with a different *homogeneous* per-VC
+    /// buffer depth — everything else (routes included) is preserved, and
+    /// any per-router overrides are cleared. This is the lever the
+    /// buffer-aware analysis studies.
+    #[must_use]
+    pub fn with_buffer_depth(&self, depth: u32) -> System {
+        System {
+            topology: self.topology.clone(),
+            config: self.config.with_buffer_depth(depth),
+            flows: self.flows.clone(),
+            routes: self.routes.clone(),
+            buffer_overrides: vec![None; self.topology.router_count()],
+        }
+    }
+
+    /// Returns a copy with the per-VC buffer depth of one router overridden
+    /// — the heterogeneous generalisation the paper's per-router `buf(ξᵢ)`
+    /// notation (§II) allows. The buffer-aware analysis and the simulator
+    /// honour per-router depths; Equation 6 generalises to
+    /// `bi(i,j) = linkl(Ξ) · Σ_{λ ∈ cd(i,j)} buf(target(λ))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of bounds or `depth` is zero.
+    #[must_use]
+    pub fn with_router_buffer_depth(&self, router: RouterId, depth: u32) -> System {
+        assert!(
+            router.index() < self.topology.router_count(),
+            "unknown router {router}"
+        );
+        assert!(depth >= 1, "buffer depth must be at least one flit");
+        let mut copy = self.clone();
+        copy.buffer_overrides[router.index()] = Some(depth);
+        copy
+    }
+
+    /// The per-VC buffer depth at `router`: the override if one was set,
+    /// otherwise the homogeneous `buf(Ξ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of bounds.
+    pub fn buffer_depth_at(&self, router: RouterId) -> u32 {
+        self.buffer_overrides[router.index()].unwrap_or(self.config.buffer_depth())
+    }
+
+    /// The buffer depth of the input VC fed by `link` — the depth at the
+    /// link's target router, or `None` for ejection links (nodes sink flits
+    /// without buffering limits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of bounds.
+    pub fn buffer_depth_of_link(&self, link: LinkId) -> Option<u32> {
+        match self.topology.link(link).target() {
+            Endpoint::Router(r) => Some(self.buffer_depth_at(r)),
+            Endpoint::Node(_) => None,
+        }
+    }
+
+    /// `true` if any router's buffer depth differs from the homogeneous
+    /// configuration.
+    pub fn has_heterogeneous_buffers(&self) -> bool {
+        self.buffer_overrides.iter().any(Option::is_some)
+    }
+
+    /// Returns a copy of the system with every period and deadline scaled
+    /// by the rational factor `numerator / denominator` (clamped below at
+    /// one cycle). Routes and packet lengths are preserved.
+    ///
+    /// Scaling periods *down* (factor < 1) increases load; the breakdown
+    /// utilities in `noc-experiments` binary-search this factor to measure
+    /// how much headroom an analysis certifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFlow`] if scaling degenerates a flow
+    /// (cannot happen for factors ≥ 1/T of every flow, since values clamp
+    /// at one cycle and D ≤ T is preserved by uniform scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    pub fn with_scaled_periods(
+        &self,
+        numerator: u64,
+        denominator: u64,
+    ) -> Result<System, ModelError> {
+        assert!(denominator > 0, "scaling denominator must be positive");
+        let scale = |c: Cycles| {
+            let v = (u128::from(c.as_u64()) * u128::from(numerator)) / u128::from(denominator);
+            Cycles::new(u64::try_from(v).unwrap_or(u64::MAX).max(1))
+        };
+        let scaled: Vec<Flow> = self
+            .flows
+            .iter()
+            .map(|(_, f)| {
+                let mut b = Flow::builder(f.source(), f.dest())
+                    .priority(f.priority())
+                    .period(scale(f.period()))
+                    .deadline(scale(f.deadline()))
+                    .jitter(f.jitter())
+                    .length_flits(f.length_flits());
+                if let Some(name) = f.name() {
+                    b = b.name(name);
+                }
+                b.build()
+            })
+            .collect();
+        Ok(System {
+            topology: self.topology.clone(),
+            config: self.config,
+            flows: FlowSet::new(scaled)?,
+            routes: self.routes.clone(),
+            buffer_overrides: self.buffer_overrides.clone(),
+        })
+    }
+
+    /// Total utilisation Σ Cᵢ/Tᵢ of the flow set (a scalar health metric
+    /// for generated workloads; not used by the analyses themselves).
+    pub fn total_utilisation(&self) -> f64 {
+        self.flows
+            .iter()
+            .map(|(id, f)| self.zero_load_latency(id).as_u64() as f64 / f.period().as_u64() as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, Priority};
+    use crate::routing::XyRouting;
+
+    fn simple_system(length_flits: u32, buffer: u32) -> System {
+        let topology = Topology::mesh(4, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(3))
+            .priority(Priority::new(1))
+            .period(Cycles::new(100_000))
+            .length_flits(length_flits)
+            .build()])
+        .unwrap();
+        let config = NocConfig::builder()
+            .buffer_depth(buffer)
+            .link_latency(Cycles::ONE)
+            .routing_latency(Cycles::ZERO)
+            .build();
+        System::new(topology, config, flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn zero_load_latency_matches_equation_one() {
+        // |route| = 5, L = 60 → C = 0·4 + 1·5 + 1·59 = 64.
+        let sys = simple_system(60, 2);
+        assert_eq!(sys.zero_load_latency(FlowId::new(0)), Cycles::new(64));
+    }
+
+    #[test]
+    fn zero_load_latency_with_routing_latency() {
+        let topology = Topology::mesh(4, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(3))
+            .priority(Priority::new(1))
+            .period(Cycles::new(100_000))
+            .length_flits(60)
+            .build()])
+        .unwrap();
+        let config = NocConfig::builder().routing_latency(Cycles::ONE).build();
+        let sys = System::new(topology, config, flows, &XyRouting).unwrap();
+        // C = 1·4 + 1·5 + 1·59 = 68.
+        assert_eq!(sys.zero_load_latency(FlowId::new(0)), Cycles::new(68));
+    }
+
+    #[test]
+    fn zero_load_latency_single_flit() {
+        let sys = simple_system(1, 2);
+        // header only: C = |route| = 5.
+        assert_eq!(sys.zero_load_latency(FlowId::new(0)), Cycles::new(5));
+    }
+
+    #[test]
+    fn didactic_zero_load_values() {
+        // Table I of the paper: C = L + |route| − 1 with routl=0, linkl=1.
+        for (l, route_len, expect) in [(60u32, 3usize, 62u64), (198, 7, 204), (128, 5, 132)] {
+            // emulate with a straight mesh of the right length
+            let topology = Topology::mesh(route_len as u16 - 1, 1);
+            let flows = FlowSet::new(vec![Flow::builder(
+                NodeId::new(0),
+                NodeId::new(route_len as u32 - 2),
+            )
+            .priority(Priority::new(1))
+            .period(Cycles::new(1_000_000))
+            .length_flits(l)
+            .build()])
+            .unwrap();
+            let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+            assert_eq!(sys.route(FlowId::new(0)).len(), route_len);
+            assert_eq!(sys.zero_load_latency(FlowId::new(0)), Cycles::new(expect));
+        }
+    }
+
+    #[test]
+    fn insufficient_vcs_rejected() {
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(1))
+                .priority(Priority::new(1))
+                .period(Cycles::new(100))
+                .build(),
+            Flow::builder(NodeId::new(1), NodeId::new(0))
+                .priority(Priority::new(2))
+                .period(Cycles::new(100))
+                .build(),
+        ])
+        .unwrap();
+        let config = NocConfig::builder().virtual_channels(1).build();
+        assert!(matches!(
+            System::new(topology, config, flows, &XyRouting),
+            Err(ModelError::InsufficientVirtualChannels {
+                available: 1,
+                required: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn auto_vcs_equals_priority_levels() {
+        let sys = simple_system(10, 2);
+        assert_eq!(sys.virtual_channels(), 1);
+    }
+
+    #[test]
+    fn with_buffer_depth_keeps_routes() {
+        let sys = simple_system(10, 2);
+        let big = sys.with_buffer_depth(100);
+        assert_eq!(big.config().buffer_depth(), 100);
+        assert_eq!(big.route(FlowId::new(0)), sys.route(FlowId::new(0)));
+        assert_eq!(
+            big.zero_load_latency(FlowId::new(0)),
+            sys.zero_load_latency(FlowId::new(0))
+        );
+    }
+
+    #[test]
+    fn utilisation_is_positive_and_small_here() {
+        let sys = simple_system(10, 2);
+        let u = sys.total_utilisation();
+        assert!(u > 0.0 && u < 0.01, "u = {u}");
+    }
+
+    #[test]
+    fn scaled_periods_change_load_not_structure() {
+        let sys = simple_system(10, 2);
+        let id = FlowId::new(0);
+        let halved = sys.with_scaled_periods(1, 2).unwrap();
+        assert_eq!(halved.flow(id).period(), Cycles::new(50_000));
+        assert_eq!(halved.flow(id).deadline(), Cycles::new(50_000));
+        assert_eq!(halved.route(id), sys.route(id));
+        assert_eq!(halved.zero_load_latency(id), sys.zero_load_latency(id));
+        let doubled = sys.with_scaled_periods(2, 1).unwrap();
+        assert_eq!(doubled.flow(id).period(), Cycles::new(200_000));
+        // Utilisation scales inversely with the factor.
+        assert!(halved.total_utilisation() > sys.total_utilisation());
+        assert!(doubled.total_utilisation() < sys.total_utilisation());
+    }
+
+    #[test]
+    fn scaling_clamps_at_one_cycle() {
+        let sys = simple_system(10, 2);
+        let tiny = sys.with_scaled_periods(1, u64::MAX).unwrap();
+        assert_eq!(tiny.flow(FlowId::new(0)).period(), Cycles::ONE);
+        assert_eq!(tiny.flow(FlowId::new(0)).deadline(), Cycles::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = simple_system(10, 2).with_scaled_periods(1, 0);
+    }
+}

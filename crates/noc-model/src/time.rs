@@ -1,0 +1,246 @@
+//! Discrete time in flit-clock cycles.
+//!
+//! All temporal quantities of the model — periods, deadlines, jitters,
+//! latencies, response times — are expressed in [`Cycles`], the time it takes
+//! a router to move one flit across one link when `linkl(Ξ) = 1`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A duration (or instant, measured from time zero) in flit-clock cycles.
+///
+/// `Cycles` is a transparent `u64` newtype ([C-NEWTYPE]) with checked-feeling
+/// arithmetic: additions and multiplications saturate at [`Cycles::MAX`]
+/// instead of wrapping, so an analysis that diverges produces a recognisably
+/// huge bound rather than silent wrap-around. Subtraction panics on underflow
+/// in debug builds and saturates to zero in release builds, matching the
+/// non-negative nature of all quantities in the model.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::time::Cycles;
+/// let period = Cycles::new(4_000);
+/// let jitter = Cycles::new(25);
+/// assert_eq!(period + jitter, Cycles::new(4_025));
+/// assert_eq!((period + jitter).ceil_div(period), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// One cycle.
+    pub const ONE: Cycles = Cycles(1);
+
+    /// The largest representable duration; arithmetic saturates here.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a duration of `n` cycles.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[must_use]
+    pub const fn saturating_mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(rhs))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub const fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+
+    /// Ceiling division of two durations, as used by the interference hit
+    /// counts `⌈(R + J) / T⌉` of every response-time analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn ceil_div(self, divisor: Cycles) -> u64 {
+        assert!(!divisor.is_zero(), "division by zero cycles");
+        self.0.div_ceil(divisor.0)
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Mul<Cycles> for u64 {
+    type Output = Cycles;
+    fn mul(self, rhs: Cycles) -> Cycles {
+        rhs.saturating_mul(self)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Rem<Cycles> for Cycles {
+    type Output = Cycles;
+    fn rem(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!(a + b, Cycles::new(13));
+        assert_eq!(a - b, Cycles::new(7));
+        assert_eq!(a * 4, Cycles::new(40));
+        assert_eq!(4 * a, Cycles::new(40));
+        assert_eq!(a / 3, Cycles::new(3));
+        assert_eq!(a % b, Cycles::new(1));
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        assert_eq!(Cycles::MAX + Cycles::ONE, Cycles::MAX);
+        assert_eq!(Cycles::MAX * 2, Cycles::MAX);
+        assert_eq!(Cycles::ZERO.saturating_sub(Cycles::ONE), Cycles::ZERO);
+    }
+
+    #[test]
+    fn ceil_div_matches_paper_hit_count() {
+        // ⌈(R + J) / T⌉ examples from the didactic computation:
+        // ⌈328 / 200⌉ = 2 hits of τ1 on τ2.
+        assert_eq!(Cycles::new(328).ceil_div(Cycles::new(200)), 2);
+        assert_eq!(Cycles::new(200).ceil_div(Cycles::new(200)), 1);
+        assert_eq!(Cycles::new(201).ceil_div(Cycles::new(200)), 2);
+        assert_eq!(Cycles::new(0).ceil_div(Cycles::new(200)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn ceil_div_by_zero_panics() {
+        let _ = Cycles::new(1).ceil_div(Cycles::ZERO);
+    }
+
+    #[test]
+    fn sum_and_compare() {
+        let total: Cycles = [1u64, 2, 3].iter().map(|&n| Cycles::new(n)).sum();
+        assert_eq!(total, Cycles::new(6));
+        assert_eq!(Cycles::new(5).max(Cycles::new(9)), Cycles::new(9));
+        assert_eq!(Cycles::new(5).min(Cycles::new(9)), Cycles::new(5));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(Cycles::new(42).to_string(), "42cy");
+        assert_eq!(u64::from(Cycles::new(42)), 42);
+        assert_eq!(Cycles::from(7u64), Cycles::new(7));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "underflow")]
+    fn debug_subtraction_underflow_panics() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the system model: routing, contention domains
+//! and interference sets on randomly generated mesh workloads.
+
+use noc_model::contention::InterferenceGraph;
+use noc_model::prelude::*;
+use proptest::prelude::*;
+
+/// Raw flow draw: (source, dest, period, length).
+type RawFlow = (u32, u32, u64, u32);
+
+/// Strategy: a mesh size and a set of random flows on it.
+fn mesh_and_flows() -> impl Strategy<Value = (u16, u16, Vec<RawFlow>)> {
+    (2u16..6, 2u16..6).prop_flat_map(|(w, h)| {
+        let nodes = u32::from(w) * u32::from(h);
+        let flow = (0..nodes, 0..nodes, 100u64..100_000, 1u32..256);
+        (Just(w), Just(h), proptest::collection::vec(flow, 1..12))
+    })
+}
+
+fn build_system(w: u16, h: u16, raw: &[RawFlow]) -> Option<System> {
+    let topology = Topology::mesh(w, h);
+    let mut flows = Vec::new();
+    for (idx, &(src, dst, period, len)) in raw.iter().enumerate() {
+        if src == dst {
+            return None; // invalid pick; skip this case
+        }
+        flows.push(
+            Flow::builder(NodeId::new(src), NodeId::new(dst))
+                .priority(Priority::new(idx as u32 + 1))
+                .period(Cycles::new(period))
+                .length_flits(len)
+                .build(),
+        );
+    }
+    let flows = FlowSet::new(flows).ok()?;
+    System::new(topology, NocConfig::default(), flows, &XyRouting).ok()
+}
+
+proptest! {
+    /// XY route length is always the Manhattan distance plus the two node
+    /// links.
+    #[test]
+    fn xy_route_length_is_manhattan_plus_two(
+        (w, h) in (2u16..8, 2u16..8),
+        src in 0u32..64,
+        dst in 0u32..64,
+    ) {
+        let nodes = u32::from(w) * u32::from(h);
+        let (src, dst) = (src % nodes, dst % nodes);
+        prop_assume!(src != dst);
+        let topology = Topology::mesh(w, h);
+        let route = XyRouting
+            .route(&topology, NodeId::new(src), NodeId::new(dst))
+            .unwrap();
+        let (sx, sy) = (src % u32::from(w), src / u32::from(w));
+        let (dx, dy) = (dst % u32::from(w), dst / u32::from(w));
+        let manhattan = sx.abs_diff(dx) + sy.abs_diff(dy);
+        prop_assert_eq!(route.len(), manhattan as usize + 2);
+        // First and last links are the injection/ejection links.
+        prop_assert_eq!(route.first(), topology.injection_link(NodeId::new(src)));
+        prop_assert_eq!(route.last(), topology.ejection_link(NodeId::new(dst)));
+    }
+
+    /// Contention domains of XY routes always satisfy the paper's
+    /// contiguity assumption: `InterferenceGraph::new` never fails on a
+    /// mesh with XY routing.
+    #[test]
+    fn xy_contention_domains_always_contiguous(
+        (w, h, raw) in mesh_and_flows(),
+    ) {
+        if let Some(system) = build_system(w, h, &raw) {
+            let graph = InterferenceGraph::new(&system);
+            prop_assert!(graph.is_ok());
+        }
+    }
+
+    /// The contention relation is symmetric and domains agree in length and
+    /// link content regardless of orientation.
+    #[test]
+    fn contention_domain_symmetry((w, h, raw) in mesh_and_flows()) {
+        let Some(system) = build_system(w, h, &raw) else { return Ok(()); };
+        let Ok(graph) = InterferenceGraph::new(&system) else { return Ok(()); };
+        let ids: Vec<FlowId> = system.flows().ids().collect();
+        for &i in &ids {
+            for &j in &ids {
+                if i == j { continue; }
+                prop_assert_eq!(graph.contend(i, j), graph.contend(j, i));
+                if let (Some(a), Some(b)) = (
+                    graph.contention_domain(i, j),
+                    graph.contention_domain(j, i),
+                ) {
+                    prop_assert_eq!(a.len(), b.len());
+                    prop_assert_eq!(a.links(), b.links());
+                    prop_assert_eq!(a.first_in_i(), b.first_in_j());
+                }
+            }
+        }
+    }
+
+    /// Direct interference sets contain exactly the higher-priority
+    /// contenders; indirect sets never overlap direct sets and every member
+    /// interferes with some direct interferer.
+    #[test]
+    fn interference_set_definitions((w, h, raw) in mesh_and_flows()) {
+        let Some(system) = build_system(w, h, &raw) else { return Ok(()); };
+        let Ok(graph) = InterferenceGraph::new(&system) else { return Ok(()); };
+        for (i, flow_i) in system.flows().iter() {
+            let direct = graph.direct_set(i);
+            for (j, flow_j) in system.flows().iter() {
+                if i == j { continue; }
+                let expected = flow_j.priority().is_higher_than(flow_i.priority())
+                    && graph.contend(i, j);
+                prop_assert_eq!(direct.contains(&j), expected);
+            }
+            for &k in graph.indirect_set(i) {
+                prop_assert!(!direct.contains(&k));
+                prop_assert!(!graph.contend(i, k));
+                prop_assert!(
+                    direct.iter().any(|&j| graph.direct_set(j).contains(&k)),
+                    "indirect member must interfere with a direct interferer"
+                );
+                // All indirect interferers have higher priority than τi.
+                prop_assert!(system
+                    .flow(k)
+                    .priority()
+                    .is_higher_than(flow_i.priority()));
+            }
+        }
+    }
+
+    /// The upstream/downstream partition is total over S^I_i ∩ S^D_j and
+    /// its members are disjoint.
+    #[test]
+    fn up_down_partition_total((w, h, raw) in mesh_and_flows()) {
+        let Some(system) = build_system(w, h, &raw) else { return Ok(()); };
+        let Ok(graph) = InterferenceGraph::new(&system) else { return Ok(()); };
+        for (i, _) in system.flows().iter() {
+            for &j in graph.direct_set(i) {
+                let part = graph.partition_indirect(i, j);
+                let expected: Vec<FlowId> = graph
+                    .indirect_set(i)
+                    .iter()
+                    .copied()
+                    .filter(|&k| graph.direct_set(j).contains(&k))
+                    .collect();
+                let mut together = part.upstream.clone();
+                together.extend(part.downstream.iter().copied());
+                together.sort();
+                let mut expected_sorted = expected.clone();
+                expected_sorted.sort();
+                prop_assert_eq!(together, expected_sorted);
+                for k in &part.upstream {
+                    prop_assert!(!part.downstream.contains(k));
+                }
+            }
+        }
+    }
+
+    /// Equation 1 is monotone in packet length and strictly increasing in
+    /// route length for fixed parameters.
+    #[test]
+    fn zero_load_latency_monotone(
+        len_a in 1u32..4096,
+        len_b in 1u32..4096,
+    ) {
+        let topology = Topology::mesh(6, 1);
+        let mk = |l: u32, p: u32| {
+            Flow::builder(NodeId::new(0), NodeId::new(5))
+                .priority(Priority::new(p))
+                .period(Cycles::new(1_000_000))
+                .length_flits(l)
+                .build()
+        };
+        let flows = FlowSet::new(vec![mk(len_a, 1), mk(len_b, 2)]).unwrap();
+        let system = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let ca = system.zero_load_latency(FlowId::new(0));
+        let cb = system.zero_load_latency(FlowId::new(1));
+        if len_a <= len_b {
+            prop_assert!(ca <= cb);
+        } else {
+            prop_assert!(ca > cb);
+        }
+    }
+}

@@ -1,0 +1,757 @@
+//! The cycle-accurate simulation engine.
+//!
+//! Models the router of Figure 1: per-priority virtual channels with private
+//! FIFO buffers of `buf(Ξ)` flits, credit-based flow control, and
+//! priority-preemptive output arbitration — at any cycle each link carries a
+//! flit of the highest-priority packet that is routed to it *and* holds a
+//! downstream credit; a blocked high-priority packet (no credit) lets lower
+//! priority traffic through, which is exactly the mechanism behind
+//! multi-point progressive blocking.
+//!
+//! # Timing model
+//!
+//! One call to [`Simulator::step`] advances one flit-clock cycle. A flit
+//! launched on a link at cycle `t` occupies it for `linkl` cycles and is
+//! delivered at time `t + linkl`. A header flit that becomes the head of an
+//! input VC at cycle `t` is routed and eligible for arbitration at
+//! `t + routl`. Credits freed by a flit leaving a buffer at cycle `t`
+//! become visible upstream at `t + 1`. With `routl = 0`, `linkl = 1` and
+//! `buf ≥ 2` an uncontended packet achieves exactly the zero-load latency
+//! of Equation 1 (asserted by this crate's tests).
+
+use std::collections::{HashMap, VecDeque};
+
+use noc_model::ids::{FlowId, LinkId, Priority};
+use noc_model::system::System;
+use noc_model::time::Cycles;
+use noc_model::topology::Endpoint;
+
+use crate::flit::Flit;
+use crate::release::ReleasePlan;
+use crate::stats::FlowStats;
+use crate::trace::TraceEvent;
+
+/// A flit in flight on a link.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    flit: Flit,
+    remaining: u64,
+}
+
+/// The state of one input virtual channel at a router: the FIFO buffer fed
+/// by `in_link`, draining into the fixed `out_link` of its flow's route.
+#[derive(Debug)]
+struct VcState {
+    buffer: VecDeque<Flit>,
+    capacity: usize,
+    in_link: LinkId,
+    out_link: LinkId,
+    priority: u32,
+    /// Head packet's header has been routed.
+    routed: bool,
+    /// Cycle at which the head header's routing completes.
+    routing_ready_at: Option<u64>,
+}
+
+/// A traffic source: releases packets per the plan and queues their flits
+/// for injection.
+#[derive(Debug)]
+struct SourceState {
+    flow: FlowId,
+    next_packet: u64,
+    queue: VecDeque<Flit>,
+    /// Release times of packets not yet fully delivered.
+    release_times: HashMap<u64, u64>,
+}
+
+/// Who may feed a given link.
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    /// The source queue of a flow whose route starts with this link.
+    Source { flow: FlowId },
+    /// A router input VC (index into `Simulator::vcs`).
+    Vc { idx: usize },
+}
+
+/// A cycle-accurate simulator for one [`System`] under one [`ReleasePlan`].
+///
+/// # Examples
+///
+/// Measure the latency of an uncontended packet and compare it with
+/// Equation 1:
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// # use noc_sim::prelude::*;
+/// let topology = Topology::mesh(4, 1);
+/// let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(3))
+///     .priority(Priority::new(1))
+///     .period(Cycles::new(10_000))
+///     .length_flits(60)
+///     .build()])?;
+/// let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
+/// let plan = ReleasePlan::synchronous(&system).with_packet_limit(FlowId::new(0), 1);
+/// let mut sim = Simulator::new(&system, plan);
+/// sim.run_until(Cycles::new(1_000));
+/// assert_eq!(
+///     sim.flow_stats(FlowId::new(0)).worst_latency(),
+///     Some(system.zero_load_latency(FlowId::new(0)))
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    system: &'a System,
+    plan: ReleasePlan,
+    now: u64,
+    linkl: u64,
+    routl: u64,
+
+    vcs: Vec<VcState>,
+    vc_index: HashMap<(LinkId, u32), usize>,
+    /// Per link: candidate feeders sorted from highest to lowest priority.
+    candidates: Vec<Vec<Candidate>>,
+    /// Per link: in-flight flit, if the link is busy.
+    links: Vec<Option<InFlight>>,
+    /// Per (router-bound link, vc): free downstream buffer slots.
+    credits: HashMap<(LinkId, u32), u32>,
+    sources: Vec<SourceState>,
+    stats: Vec<FlowStats>,
+    link_flits: Vec<u64>,
+    trace: Option<Vec<TraceEvent>>,
+    credit_returns: Vec<(LinkId, u32)>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator for `system` with releases governed by `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was built for a different number of flows.
+    pub fn new(system: &'a System, plan: ReleasePlan) -> Simulator<'a> {
+        assert_eq!(
+            plan.len(),
+            system.flows().len(),
+            "release plan does not match the system's flow count"
+        );
+        let topology = system.topology();
+        let n_links = topology.link_count();
+
+        let mut vcs: Vec<VcState> = Vec::new();
+        let mut vc_index = HashMap::new();
+        let mut candidates: Vec<Vec<Candidate>> = vec![Vec::new(); n_links];
+        let mut credits = HashMap::new();
+
+        for (flow_id, flow) in system.flows().iter() {
+            let prio = flow.priority().level();
+            let route = system.route(flow_id);
+            let links = route.links();
+            // Credits for every router-bound link of the route, sized by
+            // the (possibly per-router) buffer depth at the link's target.
+            for &l in links {
+                if let Some(depth) = system.buffer_depth_of_link(l) {
+                    credits.insert((l, prio), depth);
+                }
+            }
+            // The source feeds the first link.
+            candidates[links[0].index()].push(Candidate::Source { flow: flow_id });
+            // One VC at every intermediate router: fed by links[p], feeding
+            // links[p+1].
+            for p in 0..links.len() - 1 {
+                let idx = vcs.len();
+                let capacity = system
+                    .buffer_depth_of_link(links[p])
+                    .expect("intermediate links end at routers")
+                    as usize;
+                vcs.push(VcState {
+                    buffer: VecDeque::with_capacity(capacity),
+                    capacity,
+                    in_link: links[p],
+                    out_link: links[p + 1],
+                    priority: prio,
+                    routed: false,
+                    routing_ready_at: None,
+                });
+                vc_index.insert((links[p], prio), idx);
+                candidates[links[p + 1].index()].push(Candidate::Vc { idx });
+            }
+        }
+        // Priority order per link (highest priority = smallest level first).
+        for cand in &mut candidates {
+            cand.sort_by_key(|c| match *c {
+                Candidate::Source { flow } => system.flow(flow).priority().level(),
+                Candidate::Vc { idx } => vcs[idx].priority,
+            });
+        }
+        let sources = system
+            .flows()
+            .ids()
+            .map(|flow| SourceState {
+                flow,
+                next_packet: 0,
+                queue: VecDeque::new(),
+                release_times: HashMap::new(),
+            })
+            .collect();
+        Simulator {
+            system,
+            plan,
+            now: 0,
+            linkl: system.config().link_latency().as_u64(),
+            routl: system.config().routing_latency().as_u64(),
+            vcs,
+            vc_index,
+            candidates,
+            links: vec![None; n_links],
+            credits,
+            sources,
+            stats: vec![FlowStats::default(); system.flows().len()],
+            link_flits: vec![0; n_links],
+            trace: None,
+            credit_returns: Vec::new(),
+        }
+    }
+
+    /// Starts recording [`TraceEvent`]s (retrievable via
+    /// [`Simulator::trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The events recorded so far (empty unless
+    /// [`Simulator::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycles {
+        Cycles::new(self.now)
+    }
+
+    /// Latency statistics of one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of bounds.
+    pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
+        &self.stats[flow.index()]
+    }
+
+    /// Statistics of all flows, indexed by [`FlowId`].
+    pub fn stats(&self) -> &[FlowStats] {
+        &self.stats
+    }
+
+    /// Number of flits currently buffered in the input VC fed by `link` at
+    /// priority level `priority` (0 if that VC does not exist).
+    pub fn vc_occupancy(&self, link: LinkId, priority: Priority) -> usize {
+        self.vc_index
+            .get(&(link, priority.level()))
+            .map_or(0, |&idx| self.vcs[idx].buffer.len())
+    }
+
+    /// Total flits that have started crossing `link` since the start of
+    /// the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of bounds.
+    pub fn link_flits(&self, link: LinkId) -> u64 {
+        self.link_flits[link.index()]
+    }
+
+    /// Fraction of elapsed cycles during which `link` was transmitting
+    /// (`flits · linkl / now`); zero before the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of bounds.
+    pub fn link_utilisation(&self, link: LinkId) -> f64 {
+        if self.now == 0 {
+            return 0.0;
+        }
+        (self.link_flits[link.index()] * self.linkl) as f64 / self.now as f64
+    }
+
+    /// The `n` busiest links by transmitted flits, descending (ties broken
+    /// by link id).
+    pub fn busiest_links(&self, n: usize) -> Vec<(LinkId, u64)> {
+        let mut ranked: Vec<(LinkId, u64)> = self
+            .link_flits
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (LinkId::new(i as u32), f))
+            .collect();
+        ranked.sort_by_key(|&(id, f)| (std::cmp::Reverse(f), id));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// `true` when nothing is queued, buffered or in flight. Quiescence is
+    /// permanent once every flow has exhausted its packet limit.
+    pub fn is_quiescent(&self) -> bool {
+        self.sources.iter().all(|s| s.queue.is_empty())
+            && self.vcs.iter().all(|v| v.buffer.is_empty())
+            && self.links.iter().all(Option::is_none)
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.release_packets();
+        self.progress_routing();
+        self.arbitrate_and_launch();
+        self.advance_links();
+        self.apply_credit_returns();
+        self.now += 1;
+    }
+
+    /// Runs until `deadline` (exclusive); completes immediately if already
+    /// past it.
+    pub fn run_until(&mut self, deadline: Cycles) {
+        while self.now < deadline.as_u64() {
+            self.step();
+        }
+    }
+
+    /// Runs until `flow` has delivered `packets` packets, or `max` cycles
+    /// have elapsed. Returns `true` if the packet goal was reached.
+    pub fn run_until_delivered(&mut self, flow: FlowId, packets: u64, max: Cycles) -> bool {
+        while self.stats[flow.index()].delivered() < packets {
+            if self.now >= max.as_u64() {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    fn release_packets(&mut self) {
+        for src in &mut self.sources {
+            let flow = self.system.flow(src.flow);
+            while let Some(t) = self
+                .plan
+                .release_time(self.system, src.flow, src.next_packet)
+            {
+                if t.as_u64() > self.now {
+                    break;
+                }
+                let packet = src.next_packet;
+                let len = flow.length_flits();
+                for index in 0..len {
+                    src.queue.push_back(Flit::new(src.flow, packet, index, len));
+                }
+                src.release_times.insert(packet, t.as_u64());
+                src.next_packet += 1;
+                if let Some(tr) = &mut self.trace {
+                    tr.push(TraceEvent::PacketReleased {
+                        cycle: Cycles::new(self.now),
+                        flow: src.flow,
+                        packet,
+                    });
+                }
+            }
+        }
+    }
+
+    fn progress_routing(&mut self) {
+        for vc in &mut self.vcs {
+            let Some(head) = vc.buffer.front() else {
+                vc.routing_ready_at = None;
+                continue;
+            };
+            if head.is_header() && !vc.routed {
+                match vc.routing_ready_at {
+                    None => {
+                        let ready = self.now + self.routl;
+                        vc.routing_ready_at = Some(ready);
+                        if self.now >= ready {
+                            vc.routed = true;
+                        }
+                    }
+                    Some(ready) if self.now >= ready => vc.routed = true,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    fn arbitrate_and_launch(&mut self) {
+        for link_idx in 0..self.links.len() {
+            if self.links[link_idx].is_some() {
+                continue; // mid-transmission (linkl > 1)
+            }
+            let link = LinkId::new(link_idx as u32);
+            let needs_credit = matches!(
+                self.system.topology().link(link).target(),
+                Endpoint::Router(_)
+            );
+            let mut winner: Option<Candidate> = None;
+            for &cand in &self.candidates[link_idx] {
+                let (available, prio) = match cand {
+                    Candidate::Source { flow } => (
+                        !self.sources[flow.index()].queue.is_empty(),
+                        self.system.flow(flow).priority().level(),
+                    ),
+                    Candidate::Vc { idx } => {
+                        let vc = &self.vcs[idx];
+                        let head_ready = match vc.buffer.front() {
+                            Some(f) if f.is_header() => vc.routed,
+                            Some(_) => true,
+                            None => false,
+                        };
+                        (head_ready, vc.priority)
+                    }
+                };
+                if !available {
+                    continue;
+                }
+                if needs_credit && self.credits.get(&(link, prio)).copied().unwrap_or(0) == 0 {
+                    continue; // blocked: no downstream buffer space
+                }
+                winner = Some(cand);
+                break; // candidates are sorted by priority
+            }
+            let Some(winner) = winner else { continue };
+            let flit = match winner {
+                Candidate::Source { flow } => self.sources[flow.index()]
+                    .queue
+                    .pop_front()
+                    .expect("availability checked"),
+                Candidate::Vc { idx } => {
+                    let vc = &mut self.vcs[idx];
+                    debug_assert_eq!(vc.out_link, link, "candidate wired to wrong output");
+                    let flit = vc.buffer.pop_front().expect("availability checked");
+                    if flit.is_tail() {
+                        vc.routed = false;
+                        vc.routing_ready_at = None;
+                    }
+                    // The freed slot becomes a credit for the upstream
+                    // sender of `in_link` at the next cycle boundary.
+                    self.credit_returns.push((vc.in_link, vc.priority));
+                    flit
+                }
+            };
+            if needs_credit {
+                let prio = self.system.flow(flit.flow()).priority().level();
+                let c = self
+                    .credits
+                    .get_mut(&(link, prio))
+                    .expect("credit entry exists for routed links");
+                debug_assert!(*c > 0);
+                *c -= 1;
+            }
+            self.links[link_idx] = Some(InFlight {
+                flit,
+                remaining: self.linkl,
+            });
+            self.link_flits[link_idx] += 1;
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::FlitLaunched {
+                    cycle: Cycles::new(self.now),
+                    link,
+                    flit,
+                });
+            }
+        }
+    }
+
+    fn advance_links(&mut self) {
+        for link_idx in 0..self.links.len() {
+            let Some(mut inflight) = self.links[link_idx].take() else {
+                continue;
+            };
+            inflight.remaining -= 1;
+            if inflight.remaining > 0 {
+                self.links[link_idx] = Some(inflight);
+                continue;
+            }
+            let link = LinkId::new(link_idx as u32);
+            let flit = inflight.flit;
+            match self.system.topology().link(link).target() {
+                Endpoint::Router(_) => {
+                    let prio = self.system.flow(flit.flow()).priority().level();
+                    let idx = self.vc_index[&(link, prio)];
+                    let vc = &mut self.vcs[idx];
+                    assert!(
+                        vc.buffer.len() < vc.capacity,
+                        "credit discipline violated: buffer overflow on {link}"
+                    );
+                    vc.buffer.push_back(flit);
+                }
+                Endpoint::Node(_) => {
+                    if flit.is_tail() {
+                        let arrival = self.now + 1;
+                        let src = &mut self.sources[flit.flow().index()];
+                        let released = src
+                            .release_times
+                            .remove(&flit.packet())
+                            .expect("packet was released");
+                        let latency = Cycles::new(arrival - released);
+                        self.stats[flit.flow().index()].record(latency);
+                        if let Some(tr) = &mut self.trace {
+                            tr.push(TraceEvent::PacketDelivered {
+                                cycle: Cycles::new(arrival),
+                                flow: flit.flow(),
+                                packet: flit.packet(),
+                                latency,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_credit_returns(&mut self) {
+        for (link, prio) in self.credit_returns.drain(..) {
+            let c = self
+                .credits
+                .get_mut(&(link, prio))
+                .expect("credit entry exists");
+            *c += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::prelude::*;
+
+    fn single_flow_system(routl: u64, buffer: u32, flits: u32) -> System {
+        let topology = Topology::mesh(4, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(3))
+            .priority(Priority::new(1))
+            .period(Cycles::new(100_000))
+            .length_flits(flits)
+            .build()])
+        .unwrap();
+        let config = NocConfig::builder()
+            .buffer_depth(buffer)
+            .link_latency(Cycles::ONE)
+            .routing_latency(Cycles::new(routl))
+            .build();
+        System::new(topology, config, flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn zero_load_latency_matches_equation_one() {
+        for (routl, flits) in [(0u64, 1u32), (0, 2), (0, 60), (1, 60), (2, 17)] {
+            let sys = single_flow_system(routl, 4, flits);
+            let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 1);
+            let mut sim = Simulator::new(&sys, plan);
+            sim.run_until(Cycles::new(10_000));
+            assert_eq!(
+                sim.flow_stats(FlowId::new(0)).worst_latency(),
+                Some(sys.zero_load_latency(FlowId::new(0))),
+                "routl={routl} flits={flits}"
+            );
+            assert!(sim.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn one_flit_buffers_halve_throughput() {
+        // buf = 1 cannot sustain one flit/cycle: latency exceeds Eq. 1.
+        let sys = single_flow_system(0, 1, 30);
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 1);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.run_until(Cycles::new(10_000));
+        let observed = sim.flow_stats(FlowId::new(0)).worst_latency().unwrap();
+        assert!(observed > sys.zero_load_latency(FlowId::new(0)));
+    }
+
+    #[test]
+    fn periodic_releases_deliver_every_period() {
+        let sys = single_flow_system(0, 4, 10);
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 5);
+        let mut sim = Simulator::new(&sys, plan);
+        assert!(sim.run_until_delivered(FlowId::new(0), 5, Cycles::new(600_000)));
+        let stats = sim.flow_stats(FlowId::new(0));
+        assert_eq!(stats.delivered(), 5);
+        // All packets uncontended → identical latency.
+        assert_eq!(stats.worst_latency(), stats.best_latency());
+    }
+
+    #[test]
+    fn higher_priority_preempts_lower() {
+        // Two flows sharing the whole path; the high-priority one is
+        // unaffected, the low-priority one is delayed.
+        let topology = Topology::mesh(4, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(3))
+                .priority(Priority::new(1))
+                .period(Cycles::new(10_000))
+                .length_flits(40)
+                .build(),
+            Flow::builder(NodeId::new(0), NodeId::new(3))
+                .priority(Priority::new(2))
+                .period(Cycles::new(10_000))
+                .length_flits(40)
+                .build(),
+        ])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let plan = ReleasePlan::synchronous(&sys)
+            .with_packet_limit(FlowId::new(0), 1)
+            .with_packet_limit(FlowId::new(1), 1);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.run_until(Cycles::new(5_000));
+        let hi = sim.flow_stats(FlowId::new(0)).worst_latency().unwrap();
+        let lo = sim.flow_stats(FlowId::new(1)).worst_latency().unwrap();
+        assert_eq!(hi, sys.zero_load_latency(FlowId::new(0)));
+        // The low-priority packet waits for roughly the whole high packet.
+        assert!(lo >= sys.zero_load_latency(FlowId::new(1)) + Cycles::new(40));
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn trace_records_release_launch_delivery() {
+        let sys = single_flow_system(0, 4, 2);
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 1);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(100));
+        let trace = sim.trace();
+        assert!(matches!(trace[0], TraceEvent::PacketReleased { .. }));
+        let launches = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FlitLaunched { .. }))
+            .count();
+        // 2 flits × 5 links.
+        assert_eq!(launches, 10);
+        assert!(matches!(
+            trace.last().unwrap(),
+            TraceEvent::PacketDelivered { .. }
+        ));
+    }
+
+    #[test]
+    fn occupancy_is_bounded_by_buffer_depth() {
+        let sys = single_flow_system(0, 2, 60);
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 1);
+        let mut sim = Simulator::new(&sys, plan);
+        for _ in 0..200 {
+            sim.step();
+            for l in sys.topology().link_ids() {
+                assert!(sim.vc_occupancy(l, Priority::new(1)) <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_delays_release() {
+        let sys = single_flow_system(0, 4, 5);
+        let plan = ReleasePlan::synchronous(&sys)
+            .with_offset(FlowId::new(0), Cycles::new(50))
+            .with_packet_limit(FlowId::new(0), 1);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(200));
+        // Delivered at 50 + C; latency still C (measured from release).
+        assert_eq!(
+            sim.flow_stats(FlowId::new(0)).worst_latency(),
+            Some(sys.zero_load_latency(FlowId::new(0)))
+        );
+        assert_eq!(sim.trace()[0].cycle(), Cycles::new(50));
+    }
+
+    #[test]
+    fn link_statistics_count_flits() {
+        let sys = single_flow_system(0, 4, 10);
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 2);
+        let mut sim = Simulator::new(&sys, plan);
+        // The second packet releases at t = T = 100 000; run past it.
+        sim.run_until(Cycles::new(250_000));
+        assert!(sim.is_quiescent());
+        // Every link of the route carried exactly 2 packets × 10 flits.
+        for &l in sys.route(FlowId::new(0)).links() {
+            assert_eq!(sim.link_flits(l), 20);
+            assert!(sim.link_utilisation(l) > 0.0);
+        }
+        // Unused links carried nothing.
+        let used: Vec<LinkId> = sys.route(FlowId::new(0)).links().to_vec();
+        for l in sys.topology().link_ids() {
+            if !used.contains(&l) {
+                assert_eq!(sim.link_flits(l), 0);
+            }
+        }
+        // The busiest links are exactly the route's links.
+        let busiest = sim.busiest_links(used.len());
+        assert!(busiest.iter().all(|&(l, f)| used.contains(&l) && f == 20));
+    }
+
+    #[test]
+    fn utilisation_is_one_on_saturated_link() {
+        // A single flow with back-to-back packets saturates its links.
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+            .priority(Priority::new(1))
+            .period(Cycles::new(64))
+            .length_flits(64)
+            .build()])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let mut sim = Simulator::new(&sys, ReleasePlan::synchronous(&sys));
+        sim.run_until(Cycles::new(10_000));
+        let inj = sys.topology().injection_link(NodeId::new(0));
+        assert!(
+            sim.link_utilisation(inj) > 0.95,
+            "{}",
+            sim.link_utilisation(inj)
+        );
+    }
+
+    #[test]
+    fn jittered_releases_obey_declared_bound() {
+        use crate::release::JitterPattern;
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+            .priority(Priority::new(1))
+            .period(Cycles::new(200))
+            .jitter(Cycles::new(40))
+            .length_flits(4)
+            .build()])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let plan = ReleasePlan::synchronous(&sys)
+            .with_jitter(FlowId::new(0), JitterPattern::Seeded(3))
+            .with_packet_limit(FlowId::new(0), 20);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(10_000));
+        let mut releases = 0;
+        for e in sim.trace() {
+            if let TraceEvent::PacketReleased { cycle, packet, .. } = *e {
+                let tick = 200 * packet;
+                assert!(cycle.as_u64() >= tick && cycle.as_u64() <= tick + 40);
+                releases += 1;
+            }
+        }
+        assert_eq!(releases, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "release plan does not match")]
+    fn plan_mismatch_panics() {
+        let sys_a = single_flow_system(0, 2, 2);
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(1))
+                .priority(Priority::new(1))
+                .period(Cycles::new(100))
+                .build(),
+            Flow::builder(NodeId::new(1), NodeId::new(0))
+                .priority(Priority::new(2))
+                .period(Cycles::new(100))
+                .build(),
+        ])
+        .unwrap();
+        let sys_b = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let plan_b = ReleasePlan::synchronous(&sys_b);
+        let _ = Simulator::new(&sys_a, plan_b);
+    }
+}

@@ -1,0 +1,113 @@
+//! Flits: the unit of transfer and flow control in a wormhole network.
+
+use std::fmt;
+
+use noc_model::ids::FlowId;
+
+/// One flit of a packet in flight.
+///
+/// Wormhole switching routes the *header* flit and lets the payload follow
+/// the same path in a pipeline; the *tail* flit releases the path. Packets
+/// are numbered per flow in release order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    flow: FlowId,
+    packet: u64,
+    index: u32,
+    packet_len: u32,
+}
+
+impl Flit {
+    /// Creates flit `index` (0-based) of packet `packet` of `flow`, where
+    /// the packet has `packet_len` flits in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ packet_len` or `packet_len == 0`.
+    pub fn new(flow: FlowId, packet: u64, index: u32, packet_len: u32) -> Flit {
+        assert!(packet_len > 0, "packets have at least one flit");
+        assert!(index < packet_len, "flit index out of range");
+        Flit {
+            flow,
+            packet,
+            index,
+            packet_len,
+        }
+    }
+
+    /// The flow this flit belongs to.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Per-flow packet sequence number (0-based, release order).
+    pub fn packet(&self) -> u64 {
+        self.packet
+    }
+
+    /// Position within the packet (0 = header).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total flits in this packet.
+    pub fn packet_len(&self) -> u32 {
+        self.packet_len
+    }
+
+    /// `true` for the header flit (carries routing information).
+    pub fn is_header(&self) -> bool {
+        self.index == 0
+    }
+
+    /// `true` for the tail flit (releases the wormhole path). A single-flit
+    /// packet's flit is both header and tail.
+    pub fn is_tail(&self) -> bool {
+        self.index + 1 == self.packet_len
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{}[{}/{}]",
+            self.flow, self.packet, self.index, self.packet_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_tail_flags() {
+        let h = Flit::new(FlowId::new(0), 0, 0, 3);
+        assert!(h.is_header() && !h.is_tail());
+        let b = Flit::new(FlowId::new(0), 0, 1, 3);
+        assert!(!b.is_header() && !b.is_tail());
+        let t = Flit::new(FlowId::new(0), 0, 2, 3);
+        assert!(!t.is_header() && t.is_tail());
+    }
+
+    #[test]
+    fn single_flit_packet_is_header_and_tail() {
+        let f = Flit::new(FlowId::new(1), 7, 0, 1);
+        assert!(f.is_header() && f.is_tail());
+        assert_eq!(f.packet(), 7);
+        assert_eq!(f.flow(), FlowId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds_checked() {
+        let _ = Flit::new(FlowId::new(0), 0, 3, 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Flit::new(FlowId::new(2), 1, 0, 4);
+        assert_eq!(f.to_string(), "f2#1[0/4]");
+    }
+}

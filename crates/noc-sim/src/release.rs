@@ -1,0 +1,302 @@
+//! Release plans: when each flow's packets enter their source queues.
+
+use noc_model::ids::FlowId;
+use noc_model::system::System;
+use noc_model::time::Cycles;
+
+/// Deterministic per-packet release jitter.
+///
+/// A flow with release jitter `Jᵢ` may release each packet up to `Jᵢ`
+/// after its periodic tick; the analyses charge for the worst alignment.
+/// These patterns let the simulator exercise specific alignments — all
+/// values are clamped to the flow's declared `Jᵢ`, so a simulated release
+/// never violates the model the analyses assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JitterPattern {
+    /// Release exactly on the periodic tick.
+    #[default]
+    None,
+    /// Delay every release by the same amount (≤ Jᵢ).
+    Fixed(Cycles),
+    /// Delay odd-numbered packets by the full Jᵢ and release even ones on
+    /// time — produces the "back-to-back hit" alignment (two packets only
+    /// `T − J` apart) that interference jitter accounts for.
+    Alternating,
+    /// Pseudo-random delay in `[0, Jᵢ]`, deterministic per (seed, packet).
+    Seeded(u64),
+}
+
+impl JitterPattern {
+    /// The release delay of packet `k` for a flow with jitter bound `j`.
+    fn delay(self, flow: FlowId, k: u64, j: Cycles) -> Cycles {
+        match self {
+            JitterPattern::None => Cycles::ZERO,
+            JitterPattern::Fixed(d) => d.min(j),
+            JitterPattern::Alternating => {
+                if k % 2 == 1 {
+                    j
+                } else {
+                    Cycles::ZERO
+                }
+            }
+            JitterPattern::Seeded(seed) => {
+                if j.is_zero() {
+                    return Cycles::ZERO;
+                }
+                // splitmix64 over (seed, flow, k) for a stable stream.
+                let mut z = seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k + 1))
+                    .wrapping_add(u64::from(flow.raw()) << 32);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                Cycles::new(z % (j.as_u64() + 1))
+            }
+        }
+    }
+}
+
+/// Per-flow release schedule for a simulation run.
+///
+/// Each flow releases packets periodically starting at its *offset* (phase);
+/// an optional per-flow packet limit turns a flow into a one-shot or k-shot
+/// source, which is useful when constructing worst-case scenarios by hand.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// # use noc_sim::release::ReleasePlan;
+/// # let topology = Topology::mesh(2, 1);
+/// # let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+/// #     .priority(Priority::new(1)).period(Cycles::new(100)).build()]).unwrap();
+/// # let system = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+/// let plan = ReleasePlan::synchronous(&system)
+///     .with_offset(FlowId::new(0), Cycles::new(40))
+///     .with_packet_limit(FlowId::new(0), 3);
+/// assert_eq!(plan.offset(FlowId::new(0)), Cycles::new(40));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleasePlan {
+    offsets: Vec<Cycles>,
+    limits: Vec<Option<u64>>,
+    jitter: Vec<JitterPattern>,
+}
+
+impl ReleasePlan {
+    /// All flows release their first packet at time zero and continue
+    /// periodically forever.
+    pub fn synchronous(system: &System) -> ReleasePlan {
+        let n = system.flows().len();
+        ReleasePlan {
+            offsets: vec![Cycles::ZERO; n],
+            limits: vec![None; n],
+            jitter: vec![JitterPattern::None; n],
+        }
+    }
+
+    /// Sets the release offset (phase) of one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range for the system this plan was built
+    /// for.
+    #[must_use]
+    pub fn with_offset(mut self, flow: FlowId, offset: Cycles) -> ReleasePlan {
+        self.offsets[flow.index()] = offset;
+        self
+    }
+
+    /// Limits a flow to its first `packets` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    #[must_use]
+    pub fn with_packet_limit(mut self, flow: FlowId, packets: u64) -> ReleasePlan {
+        self.limits[flow.index()] = Some(packets);
+        self
+    }
+
+    /// Sets the release-jitter pattern of one flow; delays are clamped to
+    /// the flow's declared jitter bound Jᵢ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    #[must_use]
+    pub fn with_jitter(mut self, flow: FlowId, pattern: JitterPattern) -> ReleasePlan {
+        self.jitter[flow.index()] = pattern;
+        self
+    }
+
+    /// The jitter pattern of `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn jitter_pattern(&self, flow: FlowId) -> JitterPattern {
+        self.jitter[flow.index()]
+    }
+
+    /// The release offset of `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn offset(&self, flow: FlowId) -> Cycles {
+        self.offsets[flow.index()]
+    }
+
+    /// The packet limit of `flow`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn packet_limit(&self, flow: FlowId) -> Option<u64> {
+        self.limits[flow.index()]
+    }
+
+    /// Number of flows covered by this plan.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` when the plan covers no flows.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Release time of packet `k` (0-based) of `flow` under this plan, or
+    /// `None` if the flow is limited to fewer packets.
+    pub fn release_time(&self, system: &System, flow: FlowId, k: u64) -> Option<Cycles> {
+        if let Some(limit) = self.limits[flow.index()] {
+            if k >= limit {
+                return None;
+            }
+        }
+        let f = system.flow(flow);
+        let delay = self.jitter[flow.index()].delay(flow, k, f.jitter());
+        Some(self.offsets[flow.index()] + f.period() * k + delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::prelude::*;
+
+    fn system() -> System {
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(1))
+                .priority(Priority::new(1))
+                .period(Cycles::new(100))
+                .build(),
+            Flow::builder(NodeId::new(1), NodeId::new(0))
+                .priority(Priority::new(2))
+                .period(Cycles::new(300))
+                .build(),
+        ])
+        .unwrap();
+        System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn synchronous_defaults() {
+        let sys = system();
+        let plan = ReleasePlan::synchronous(&sys);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.offset(FlowId::new(0)), Cycles::ZERO);
+        assert_eq!(plan.packet_limit(FlowId::new(0)), None);
+    }
+
+    #[test]
+    fn release_times_are_periodic_with_offset() {
+        let sys = system();
+        let plan = ReleasePlan::synchronous(&sys).with_offset(FlowId::new(0), Cycles::new(7));
+        assert_eq!(
+            plan.release_time(&sys, FlowId::new(0), 0),
+            Some(Cycles::new(7))
+        );
+        assert_eq!(
+            plan.release_time(&sys, FlowId::new(0), 3),
+            Some(Cycles::new(307))
+        );
+    }
+
+    #[test]
+    fn packet_limit_cuts_off_releases() {
+        let sys = system();
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(1), 2);
+        assert!(plan.release_time(&sys, FlowId::new(1), 1).is_some());
+        assert_eq!(plan.release_time(&sys, FlowId::new(1), 2), None);
+    }
+
+    fn jittery_system(j: u64) -> System {
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+            .priority(Priority::new(1))
+            .period(Cycles::new(100))
+            .jitter(Cycles::new(j))
+            .build()])
+        .unwrap();
+        System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn alternating_jitter_creates_back_to_back_gap() {
+        let sys = jittery_system(30);
+        let f = FlowId::new(0);
+        let plan = ReleasePlan::synchronous(&sys).with_jitter(f, JitterPattern::Alternating);
+        let t0 = plan.release_time(&sys, f, 0).unwrap();
+        let t1 = plan.release_time(&sys, f, 1).unwrap();
+        let t2 = plan.release_time(&sys, f, 2).unwrap();
+        assert_eq!(t0, Cycles::ZERO);
+        assert_eq!(t1, Cycles::new(130)); // delayed by full J
+        assert_eq!(t2, Cycles::new(200)); // back on the tick: gap of 70 = T − J
+        assert_eq!(t2 - t1, Cycles::new(70));
+    }
+
+    #[test]
+    fn fixed_jitter_clamps_to_declared_bound() {
+        let sys = jittery_system(10);
+        let f = FlowId::new(0);
+        let plan =
+            ReleasePlan::synchronous(&sys).with_jitter(f, JitterPattern::Fixed(Cycles::new(50)));
+        // Requested 50 but the flow only declares J = 10.
+        assert_eq!(plan.release_time(&sys, f, 0), Some(Cycles::new(10)));
+        assert_eq!(
+            plan.jitter_pattern(f),
+            JitterPattern::Fixed(Cycles::new(50))
+        );
+    }
+
+    #[test]
+    fn seeded_jitter_is_deterministic_and_bounded() {
+        let sys = jittery_system(25);
+        let f = FlowId::new(0);
+        let plan = ReleasePlan::synchronous(&sys).with_jitter(f, JitterPattern::Seeded(9));
+        for k in 0..50 {
+            let t = plan.release_time(&sys, f, k).unwrap();
+            let tick = Cycles::new(100 * k);
+            assert!(t >= tick && t <= tick + Cycles::new(25), "packet {k}");
+            assert_eq!(plan.release_time(&sys, f, k), Some(t), "stable");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_flow_ignores_patterns() {
+        let sys = system(); // J = 0 flows
+        let f = FlowId::new(0);
+        for pattern in [
+            JitterPattern::Alternating,
+            JitterPattern::Seeded(1),
+            JitterPattern::Fixed(Cycles::new(99)),
+        ] {
+            let plan = ReleasePlan::synchronous(&sys).with_jitter(f, pattern);
+            assert_eq!(plan.release_time(&sys, f, 3), Some(Cycles::new(300)));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-flow latency statistics collected by the simulator.
+
+use std::fmt;
+
+use noc_model::time::Cycles;
+
+/// Observed end-to-end packet latencies of one flow.
+///
+/// Latency is measured from the packet's *release* (entry into the source
+/// queue) to the arrival of its tail flit at the destination node — the
+/// quantity the analyses of `noc-analysis` upper-bound.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlowStats {
+    delivered: u64,
+    worst: Option<Cycles>,
+    best: Option<Cycles>,
+    total: u64,
+    samples: Vec<u64>,
+}
+
+impl FlowStats {
+    /// Records one delivered packet.
+    pub(crate) fn record(&mut self, latency: Cycles) {
+        self.delivered += 1;
+        self.total = self.total.saturating_add(latency.as_u64());
+        self.worst = Some(self.worst.map_or(latency, |w| w.max(latency)));
+        self.best = Some(self.best.map_or(latency, |b| b.min(latency)));
+        self.samples.push(latency.as_u64());
+    }
+
+    /// Number of packets fully delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Worst observed latency, if any packet completed.
+    pub fn worst_latency(&self) -> Option<Cycles> {
+        self.worst
+    }
+
+    /// Best observed latency, if any packet completed.
+    pub fn best_latency(&self) -> Option<Cycles> {
+        self.best
+    }
+
+    /// Mean observed latency, if any packet completed.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.delivered == 0 {
+            None
+        } else {
+            Some(self.total as f64 / self.delivered as f64)
+        }
+    }
+
+    /// The `p`-th percentile of observed latencies (nearest-rank method),
+    /// if any packet completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<Cycles> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(Cycles::new(
+            sorted[rank.saturating_sub(1).min(sorted.len() - 1)],
+        ))
+    }
+
+    /// All observed latencies in delivery order. One entry per packet —
+    /// bounded by the run's packet count, so long saturation runs should
+    /// use packet limits if memory matters.
+    pub fn latencies(&self) -> impl Iterator<Item = Cycles> + '_ {
+        self.samples.iter().map(|&v| Cycles::new(v))
+    }
+}
+
+impl fmt::Display for FlowStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.worst, self.best) {
+            (Some(w), Some(b)) => write!(
+                f,
+                "{} packets, latency best/mean/worst = {}/{:.1}/{}",
+                self.delivered,
+                b,
+                self.mean_latency().unwrap_or_default(),
+                w
+            ),
+            _ => write!(f, "no packets delivered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_extremes_and_mean() {
+        let mut s = FlowStats::default();
+        assert_eq!(s.delivered(), 0);
+        assert_eq!(s.worst_latency(), None);
+        assert_eq!(s.mean_latency(), None);
+        s.record(Cycles::new(10));
+        s.record(Cycles::new(30));
+        s.record(Cycles::new(20));
+        assert_eq!(s.delivered(), 3);
+        assert_eq!(s.worst_latency(), Some(Cycles::new(30)));
+        assert_eq!(s.best_latency(), Some(Cycles::new(10)));
+        assert_eq!(s.mean_latency(), Some(20.0));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = FlowStats::default();
+        assert_eq!(s.percentile(99.0), None);
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record(Cycles::new(v));
+        }
+        assert_eq!(s.percentile(0.0), Some(Cycles::new(10)));
+        assert_eq!(s.percentile(50.0), Some(Cycles::new(50)));
+        assert_eq!(s.percentile(90.0), Some(Cycles::new(90)));
+        assert_eq!(s.percentile(100.0), Some(Cycles::new(100)));
+        assert_eq!(s.latencies().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let _ = FlowStats::default().percentile(150.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut s = FlowStats::default();
+        assert_eq!(s.to_string(), "no packets delivered");
+        s.record(Cycles::new(5));
+        assert!(s.to_string().contains("1 packets"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Optional event tracing for debugging and for visualising MPB scenarios.
+
+use std::fmt;
+
+use noc_model::ids::{FlowId, LinkId};
+use noc_model::time::Cycles;
+
+use crate::flit::Flit;
+
+/// A timestamped simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet entered its source queue.
+    PacketReleased {
+        /// Release cycle.
+        cycle: Cycles,
+        /// Releasing flow.
+        flow: FlowId,
+        /// Per-flow packet sequence number.
+        packet: u64,
+    },
+    /// A flit started crossing a link.
+    FlitLaunched {
+        /// Launch cycle.
+        cycle: Cycles,
+        /// The link being crossed.
+        link: LinkId,
+        /// The flit.
+        flit: Flit,
+    },
+    /// A packet's tail flit reached the destination node.
+    PacketDelivered {
+        /// Arrival time of the tail flit.
+        cycle: Cycles,
+        /// Delivering flow.
+        flow: FlowId,
+        /// Per-flow packet sequence number.
+        packet: u64,
+        /// End-to-end latency (arrival − release).
+        latency: Cycles,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred at.
+    pub fn cycle(&self) -> Cycles {
+        match *self {
+            TraceEvent::PacketReleased { cycle, .. }
+            | TraceEvent::FlitLaunched { cycle, .. }
+            | TraceEvent::PacketDelivered { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::PacketReleased {
+                cycle,
+                flow,
+                packet,
+            } => write!(f, "[{cycle}] release {flow}#{packet}"),
+            TraceEvent::FlitLaunched { cycle, link, flit } => {
+                write!(f, "[{cycle}] {flit} on {link}")
+            }
+            TraceEvent::PacketDelivered {
+                cycle,
+                flow,
+                packet,
+                latency,
+            } => write!(f, "[{cycle}] delivered {flow}#{packet} latency {latency}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accessor_and_display() {
+        let e = TraceEvent::PacketReleased {
+            cycle: Cycles::new(3),
+            flow: FlowId::new(0),
+            packet: 1,
+        };
+        assert_eq!(e.cycle(), Cycles::new(3));
+        assert_eq!(e.to_string(), "[3cy] release f0#1");
+
+        let d = TraceEvent::PacketDelivered {
+            cycle: Cycles::new(9),
+            flow: FlowId::new(2),
+            packet: 0,
+            latency: Cycles::new(6),
+        };
+        assert!(d.to_string().contains("latency 6cy"));
+    }
+}

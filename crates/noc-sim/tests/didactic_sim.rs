@@ -1,0 +1,142 @@
+//! Reproduction of Table II's simulation columns (§V of the paper).
+//!
+//! The paper reports worst observed latencies (cycle-accurate simulation,
+//! offset search over τ1's phase):
+//!
+//! | flow | R^sim (b=10) | R^sim (b=2) |
+//! |------|--------------|-------------|
+//! | τ1   | 62           | 62          |
+//! | τ2   | 324          | 324         |
+//! | τ3   | 352          | 336         |
+//!
+//! Our router model reproduces τ1 and τ2 exactly and τ3 within two cycles
+//! (334 / 350 — a micro-architectural difference in pipeline restart
+//! timing), with the *buffered-interference delta identical to the paper*:
+//! growing buffers from 2 to 10 flits adds exactly 16 cycles of MPB to τ3
+//! in both. The qualitative claims all hold:
+//!
+//! * τ3's observed latency with 10-flit buffers **exceeds the SB bound
+//!   (336)** — SB is unsafe under MPB;
+//! * every observation respects the XLWX and IBN bounds;
+//! * larger buffers make the worst observed latency worse.
+
+use noc_analysis::prelude::*;
+use noc_model::prelude::*;
+use noc_sim::prelude::*;
+use noc_workload::didactic::{self, DidacticFlows};
+
+/// Worst observed latencies [τ1, τ2, τ3] over a sweep of τ1's offset.
+fn sweep(buffer: u32) -> [u64; 3] {
+    let f = DidacticFlows::ids();
+    let sys = didactic::system(buffer);
+    let mut worst = [0u64; 3];
+    // τ1's period is 200; sweeping its phase over one full period relative
+    // to the synchronous release of τ2 and τ3 covers all alignments.
+    for offset in 0..200u64 {
+        let plan = ReleasePlan::synchronous(&sys).with_offset(f.tau1, Cycles::new(offset));
+        let mut sim = Simulator::new(&sys, plan);
+        // Three τ3 periods capture several packets of every flow.
+        sim.run_until(Cycles::new(18_000));
+        for (slot, id) in [f.tau1, f.tau2, f.tau3].iter().enumerate() {
+            let observed = sim
+                .flow_stats(*id)
+                .worst_latency()
+                .expect("every flow delivers packets");
+            worst[slot] = worst[slot].max(observed.as_u64());
+        }
+    }
+    worst
+}
+
+#[test]
+fn observed_latencies_regression_b2() {
+    // Paper: [62, 324, 336]; ours: τ3 = 334 (2-cycle router timing delta).
+    assert_eq!(sweep(2), [62, 324, 334]);
+}
+
+#[test]
+fn observed_latencies_regression_b10() {
+    // Paper: [62, 324, 352]; ours: τ3 = 350 (same 2-cycle delta).
+    assert_eq!(sweep(10), [62, 324, 350]);
+}
+
+#[test]
+fn buffered_interference_delta_matches_paper() {
+    // Table II: R^sim(τ3, b=10) − R^sim(τ3, b=2) = 352 − 336 = 16 cycles of
+    // extra multi-point progressive blocking. Ours is identical.
+    let b2 = sweep(2);
+    let b10 = sweep(10);
+    assert_eq!(b10[2] - b2[2], 16);
+    // τ1 and τ2 are unaffected by the victim-side buffering.
+    assert_eq!(b2[0], b10[0]);
+    assert_eq!(b2[1], b10[1]);
+}
+
+#[test]
+fn sb_bound_is_violated_with_large_buffers() {
+    // The paper's headline observation: with 10-flit buffers the *observed*
+    // latency of τ3 (352 there, 350 here) exceeds SB's "upper bound" of
+    // 336 — SB is unsafe under MPB.
+    let f = DidacticFlows::ids();
+    let sys = didactic::system(10);
+    let sb = ShiBurns.analyze(&sys).unwrap();
+    let r_sb = sb.response_time(f.tau3).unwrap().as_u64();
+    assert_eq!(r_sb, 336);
+    let observed = sweep(10)[2];
+    assert!(
+        observed > r_sb,
+        "observed {observed} should exceed the optimistic SB bound {r_sb}"
+    );
+}
+
+#[test]
+fn safe_bounds_hold_for_all_observations() {
+    let f = DidacticFlows::ids();
+    for buffer in [2u32, 10] {
+        let sys = didactic::system(buffer);
+        let xlwx = Xlwx.analyze(&sys).unwrap();
+        let ibn = BufferAware.analyze(&sys).unwrap();
+        let worst = sweep(buffer);
+        for (slot, id) in [f.tau1, f.tau2, f.tau3].iter().enumerate() {
+            let r_xlwx = xlwx.response_time(*id).unwrap().as_u64();
+            let r_ibn = ibn.response_time(*id).unwrap().as_u64();
+            assert!(
+                worst[slot] <= r_ibn,
+                "b={buffer} {id}: observed {} > IBN bound {r_ibn}",
+                worst[slot]
+            );
+            assert!(r_ibn <= r_xlwx);
+        }
+    }
+}
+
+#[test]
+fn mpb_buffer_buildup_is_observable() {
+    // While τ1 blocks τ2 downstream, τ2's flits pile up in the buffers of
+    // the contention domain cd(3,2) — the "stacked dots" of Figure 2.
+    let f = DidacticFlows::ids();
+    let sys = didactic::system(10);
+    // Release τ1 mid-way through τ2's transmission.
+    let plan = ReleasePlan::synchronous(&sys).with_offset(f.tau1, Cycles::new(40));
+    let mut sim = Simulator::new(&sys, plan);
+    let cd_links: Vec<LinkId> = sys
+        .route(f.tau2)
+        .links()
+        .iter()
+        .copied()
+        .filter(|l| sys.route(f.tau3).contains(*l))
+        .collect();
+    assert_eq!(cd_links.len(), 3, "cd(3,2) has three links");
+    let tau2_prio = sys.flow(f.tau2).priority();
+    let mut max_buffered = 0;
+    for _ in 0..2_000 {
+        sim.step();
+        let buffered: usize = cd_links
+            .iter()
+            .map(|&l| sim.vc_occupancy(l, tau2_prio))
+            .sum();
+        max_buffered = max_buffered.max(buffered);
+    }
+    // All three contention-domain buffers fill completely under blocking.
+    assert_eq!(max_buffered, 30, "3 links × 10-flit buffers saturate");
+}

@@ -1,0 +1,119 @@
+//! Heterogeneous per-router buffers: the generalisation of Equation 6 to
+//! `bi(i,j) = linkl · Σ_{λ ∈ cd(i,j)} buf(target(λ))`, cross-validated
+//! between the analysis and the simulator on the didactic example.
+
+use noc_analysis::prelude::*;
+use noc_model::prelude::*;
+use noc_model::topology::Endpoint;
+use noc_sim::prelude::*;
+use noc_workload::didactic::{self, DidacticFlows};
+
+/// The didactic system with explicit depths at the three routers ending
+/// the links of cd(3,2).
+fn heterogeneous_didactic(depths: [u32; 3]) -> System {
+    let base = didactic::system(2);
+    let f = DidacticFlows::ids();
+    let cd_links: Vec<LinkId> = base
+        .route(f.tau3)
+        .links()
+        .iter()
+        .copied()
+        .filter(|l| base.route(f.tau2).contains(*l))
+        .collect();
+    assert_eq!(cd_links.len(), 3);
+    let mut sys = base;
+    for (&link, &depth) in cd_links.iter().zip(depths.iter()) {
+        let Endpoint::Router(router) = sys.topology().link(link).target() else {
+            panic!("contention-domain links end at routers");
+        };
+        sys = sys.with_router_buffer_depth(router, depth);
+    }
+    sys
+}
+
+#[test]
+fn generalized_bi_drives_the_ibn_bound() {
+    // Homogeneous b=2 gives bi = 6 → R(τ3) = 348 (Table II).
+    // With cd-router depths [4, 6, 10]: bi = 20 → R = 132 + 204 + 2·20 = 376.
+    let sys = heterogeneous_didactic([4, 6, 10]);
+    assert!(sys.has_heterogeneous_buffers());
+    let report = BufferAware.analyze(&sys).unwrap();
+    let f = DidacticFlows::ids();
+    assert_eq!(report.response_time(f.tau3), Some(Cycles::new(376)));
+    // τ1/τ2 are unaffected (their bounds have no buffer term).
+    assert_eq!(report.response_time(f.tau1), Some(Cycles::new(62)));
+    assert_eq!(report.response_time(f.tau2), Some(Cycles::new(328)));
+}
+
+#[test]
+fn per_router_monotonicity() {
+    // Deepening any single cd router can only increase the bound, until
+    // the min() in Eq. 8 saturates at the XLWX charge.
+    let f = DidacticFlows::ids();
+    let mut previous = 0;
+    for depth in [1u32, 2, 5, 10, 20, 40, 100] {
+        let sys = heterogeneous_didactic([depth, 2, 2]);
+        let r = BufferAware
+            .analyze(&sys)
+            .unwrap()
+            .response_time(f.tau3)
+            .unwrap()
+            .as_u64();
+        assert!(r >= previous, "depth {depth}: {r} < {previous}");
+        previous = r;
+        // Never beyond the XLWX bound.
+        assert!(r <= 460);
+    }
+    assert_eq!(previous, 460, "saturates at the XLWX charge");
+}
+
+#[test]
+fn simulation_respects_heterogeneous_bounds() {
+    let f = DidacticFlows::ids();
+    for depths in [[4u32, 6, 10], [10, 2, 2], [2, 10, 2]] {
+        let sys = heterogeneous_didactic(depths);
+        let bound = BufferAware
+            .analyze(&sys)
+            .unwrap()
+            .response_time(f.tau3)
+            .unwrap();
+        let mut worst = Cycles::ZERO;
+        for offset in (0..200u64).step_by(4) {
+            let plan = ReleasePlan::synchronous(&sys).with_offset(f.tau1, Cycles::new(offset));
+            let mut sim = Simulator::new(&sys, plan);
+            sim.run_until(Cycles::new(18_000));
+            worst = worst.max(sim.flow_stats(f.tau3).worst_latency().unwrap());
+        }
+        assert!(
+            worst <= bound,
+            "depths {depths:?}: observed {worst} > bound {bound}"
+        );
+        // Heterogeneous buffering still produces more MPB than uniform b=2.
+        assert!(worst >= Cycles::new(330), "depths {depths:?}: {worst}");
+    }
+}
+
+#[test]
+fn simulator_honours_per_router_capacity() {
+    let sys = heterogeneous_didactic([4, 6, 10]);
+    let f = DidacticFlows::ids();
+    let cd_links: Vec<LinkId> = sys
+        .route(f.tau3)
+        .links()
+        .iter()
+        .copied()
+        .filter(|l| sys.route(f.tau2).contains(*l))
+        .collect();
+    let plan = ReleasePlan::synchronous(&sys).with_offset(f.tau1, Cycles::new(40));
+    let mut sim = Simulator::new(&sys, plan);
+    let tau2_prio = sys.flow(f.tau2).priority();
+    let mut peaks = [0usize; 3];
+    for _ in 0..2_000 {
+        sim.step();
+        for (slot, &l) in cd_links.iter().enumerate() {
+            peaks[slot] = peaks[slot].max(sim.vc_occupancy(l, tau2_prio));
+        }
+    }
+    // Each buffer fills to exactly its configured depth under blocking.
+    assert_eq!(peaks, [4, 6, 10]);
+}

@@ -1,0 +1,193 @@
+//! Property tests for the simulator: conservation laws, ordering, and —
+//! most importantly — that observed latencies never exceed the safe
+//! analytical bounds (IBN, XLWX) on randomly generated systems.
+
+use noc_analysis::prelude::*;
+use noc_model::prelude::*;
+use noc_sim::prelude::*;
+use noc_workload::synthetic::SyntheticSpec;
+use proptest::prelude::*;
+
+fn workload(seed: u64, n_flows: usize, buffer: u32) -> System {
+    let mut spec = SyntheticSpec::paper(3, 3, n_flows, buffer);
+    // Small packets and periods: dense contention, fast simulation.
+    spec.period_range = (500, 5_000);
+    spec.length_range = (4, 64);
+    spec.generate(seed).into_system()
+}
+
+fn jittery_workload(seed: u64, n_flows: usize) -> System {
+    let mut spec = SyntheticSpec::paper(3, 3, n_flows, 2);
+    spec.period_range = (500, 5_000);
+    spec.length_range = (4, 64);
+    spec.jitter = Cycles::new(150);
+    spec.generate(seed).into_system()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every released packet is eventually delivered (with packet limits,
+    /// the network drains to quiescence) and per-flow delivery counts match
+    /// the limits.
+    #[test]
+    fn conservation_of_packets(seed in 0u64..10_000, n in 2usize..10) {
+        let sys = workload(seed, n, 4);
+        let mut plan = ReleasePlan::synchronous(&sys);
+        for id in sys.flows().ids() {
+            plan = plan.with_packet_limit(id, 3);
+        }
+        let mut sim = Simulator::new(&sys, plan);
+        sim.run_until(Cycles::new(200_000));
+        prop_assert!(sim.is_quiescent(), "network failed to drain");
+        for id in sys.flows().ids() {
+            prop_assert_eq!(sim.flow_stats(id).delivered(), 3, "{}", id);
+        }
+    }
+
+    /// No observed latency is below the zero-load latency C (Eq. 1 is the
+    /// floor) and the best case of an eventually-idle network achieves it.
+    #[test]
+    fn zero_load_latency_is_the_floor(seed in 0u64..10_000, n in 2usize..10) {
+        let sys = workload(seed, n, 4);
+        let mut plan = ReleasePlan::synchronous(&sys);
+        for id in sys.flows().ids() {
+            plan = plan.with_packet_limit(id, 2);
+        }
+        let mut sim = Simulator::new(&sys, plan);
+        sim.run_until(Cycles::new(200_000));
+        for id in sys.flows().ids() {
+            if let Some(best) = sim.flow_stats(id).best_latency() {
+                prop_assert!(best >= sys.zero_load_latency(id), "{}", id);
+            }
+        }
+    }
+
+    /// Observed latencies never exceed the IBN bound (and therefore the
+    /// XLWX bound) whenever the analysis deems the flow schedulable.
+    #[test]
+    fn observations_respect_safe_bounds(seed in 0u64..10_000, n in 2usize..10) {
+        let sys = workload(seed, n, 2);
+        let report = BufferAware.analyze(&sys).unwrap();
+        let mut sim = Simulator::new(&sys, ReleasePlan::synchronous(&sys));
+        sim.run_until(Cycles::new(100_000));
+        for (id, verdict) in report.iter() {
+            let (Some(bound), Some(observed)) =
+                (verdict.response_time(), sim.flow_stats(id).worst_latency())
+            else {
+                continue;
+            };
+            prop_assert!(
+                observed <= bound,
+                "{id}: observed {observed} exceeds IBN bound {bound}"
+            );
+        }
+    }
+
+    /// Packets of each flow are delivered in release order, and the trace's
+    /// per-flow launch sequence on any link preserves flit order.
+    #[test]
+    fn in_order_delivery(seed in 0u64..10_000, n in 2usize..8) {
+        let sys = workload(seed, n, 4);
+        let mut plan = ReleasePlan::synchronous(&sys);
+        for id in sys.flows().ids() {
+            plan = plan.with_packet_limit(id, 4);
+        }
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(200_000));
+        let mut next_delivery = vec![0u64; sys.flows().len()];
+        for event in sim.trace() {
+            if let TraceEvent::PacketDelivered { flow, packet, .. } = *event {
+                prop_assert_eq!(packet, next_delivery[flow.index()]);
+                next_delivery[flow.index()] += 1;
+            }
+        }
+        // Per-(flow, link) launches are in (packet, flit index) order.
+        let mut last_seen: std::collections::HashMap<(FlowId, LinkId), (u64, u32)> =
+            std::collections::HashMap::new();
+        for event in sim.trace() {
+            if let TraceEvent::FlitLaunched { link, flit, .. } = *event {
+                let key = (flit.flow(), link);
+                let pos = (flit.packet(), flit.index());
+                if let Some(&prev) = last_seen.get(&key) {
+                    prop_assert!(pos > prev, "flit reordering on {link}");
+                }
+                last_seen.insert(key, pos);
+            }
+        }
+    }
+
+    /// Buffer occupancy never exceeds the configured depth.
+    #[test]
+    fn occupancy_bounded(seed in 0u64..10_000, buffer in 1u32..6) {
+        let sys = workload(seed, 6, buffer);
+        let mut sim = Simulator::new(&sys, ReleasePlan::synchronous(&sys));
+        let prios: Vec<Priority> =
+            sys.flows().iter().map(|(_, f)| f.priority()).collect();
+        for _ in 0..3_000 {
+            sim.step();
+            for l in sys.topology().link_ids() {
+                for &p in &prios {
+                    prop_assert!(sim.vc_occupancy(l, p) <= buffer as usize);
+                }
+            }
+        }
+    }
+
+    /// With release jitter exercised by every pattern, observed latencies
+    /// still respect the IBN bound — the analyses' J term covers all
+    /// admissible release alignments.
+    #[test]
+    fn jittered_observations_respect_bounds(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        pattern_seed in 0u64..100,
+    ) {
+        let sys = jittery_workload(seed, n);
+        let report = BufferAware.analyze(&sys).unwrap();
+        for pattern in [
+            JitterPattern::Alternating,
+            JitterPattern::Seeded(pattern_seed),
+            JitterPattern::Fixed(Cycles::new(150)),
+        ] {
+            let mut plan = ReleasePlan::synchronous(&sys);
+            for id in sys.flows().ids() {
+                plan = plan.with_jitter(id, pattern);
+            }
+            let mut sim = Simulator::new(&sys, plan);
+            sim.run_until(Cycles::new(60_000));
+            for (id, verdict) in report.iter() {
+                let (Some(bound), Some(observed)) =
+                    (verdict.response_time(), sim.flow_stats(id).worst_latency())
+                else {
+                    continue;
+                };
+                prop_assert!(
+                    observed <= bound,
+                    "{id} under {pattern:?}: observed {observed} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    /// Simulation is deterministic: identical runs produce identical stats.
+    #[test]
+    fn determinism(seed in 0u64..10_000, n in 2usize..8) {
+        let sys = workload(seed, n, 2);
+        let run = |sys: &System| {
+            let mut sim = Simulator::new(sys, ReleasePlan::synchronous(sys));
+            sim.run_until(Cycles::new(20_000));
+            sys.flows()
+                .ids()
+                .map(|id| {
+                    (
+                        sim.flow_stats(id).delivered(),
+                        sim.flow_stats(id).worst_latency(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&sys), run(&sys));
+    }
+}

@@ -1,0 +1,228 @@
+//! An autonomous-vehicle (AV) application benchmark.
+//!
+//! Substitute for the AV benchmark of Indrusiak (J. Syst. Arch. 2014, ref
+//! \[5\] of the paper), whose exact task/flow table is not reproduced in the
+//! paper text. This benchmark matches its published scale — 38 tasks and 39
+//! periodic messages mixing heavy video/lidar streams with tight control
+//! loops — and exercises exactly the same code paths (mapping → routing →
+//! interference analysis).
+//!
+//! Periods are expressed at a **0.5 MHz flit clock** (1 ms = 500 cycles),
+//! calibrated — like the synthetic generator's time base — so that the
+//! smallest topologies of Figure 5 are contention-limited while the largest
+//! are comfortably schedulable, reproducing the paper's curve shape (see
+//! `EXPERIMENTS.md`).
+
+use noc_model::time::Cycles;
+
+/// Cycles per millisecond at the 0.5 MHz flit clock.
+pub const CYCLES_PER_MS: u64 = 500;
+
+/// A computational task of the AV application (a traffic source/sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvTask {
+    /// Task name (unique within the application).
+    pub name: &'static str,
+}
+
+/// A periodic message between two tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvMessage {
+    /// Message name.
+    pub name: &'static str,
+    /// Index of the producing task in [`AvApplication::tasks`].
+    pub source_task: usize,
+    /// Index of the consuming task in [`AvApplication::tasks`].
+    pub dest_task: usize,
+    /// Period (= deadline) in cycles.
+    pub period: Cycles,
+    /// Maximum packet length in flits.
+    pub length_flits: u32,
+}
+
+/// The task graph of the AV application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvApplication {
+    /// All tasks; message endpoints index into this list.
+    pub tasks: Vec<AvTask>,
+    /// All periodic messages.
+    pub messages: Vec<AvMessage>,
+}
+
+impl AvApplication {
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of messages.
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+}
+
+/// Builds the AV benchmark application.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_workload::av::av_benchmark;
+/// let app = av_benchmark();
+/// assert_eq!(app.task_count(), 38);
+/// assert_eq!(app.message_count(), 39);
+/// ```
+pub fn av_benchmark() -> AvApplication {
+    const TASK_NAMES: [&str; 38] = [
+        "front-camera",     // 0
+        "rear-camera",      // 1
+        "left-camera",      // 2
+        "right-camera",     // 3
+        "front-preproc",    // 4
+        "rear-preproc",     // 5
+        "side-preproc",     // 6
+        "object-detector",  // 7
+        "object-tracker",   // 8
+        "lidar",            // 9
+        "lidar-proc",       // 10
+        "radar-front",      // 11
+        "radar-rear",       // 12
+        "radar-proc",       // 13
+        "gps",              // 14
+        "imu",              // 15
+        "localizer",        // 16
+        "sensor-fusion",    // 17
+        "occupancy-grid",   // 18
+        "tl-detector",      // 19
+        "obstacle-pred",    // 20
+        "path-planner",     // 21
+        "behavior-planner", // 22
+        "traj-follower",    // 23
+        "steering-ctrl",    // 24
+        "throttle-ctrl",    // 25
+        "brake-ctrl",       // 26
+        "stability-ctrl",   // 27
+        "v2v-radio",        // 28
+        "telemetry",        // 29
+        "hmi-display",      // 30
+        "map-db",           // 31
+        "mission-mgr",      // 32
+        "watchdog",         // 33
+        "speed-sensor",     // 34
+        "wheel-encoder",    // 35
+        "horn-lights",      // 36
+        "black-box",        // 37
+    ];
+    // (name, source, dest, period ms, flits)
+    const MESSAGES: [(&str, usize, usize, u64, u32); 39] = [
+        ("front-video", 0, 4, 33, 4096),
+        ("rear-video", 1, 5, 33, 4096),
+        ("left-video", 2, 6, 33, 2048),
+        ("right-video", 3, 6, 33, 2048),
+        ("front-features", 4, 7, 33, 1024),
+        ("rear-features", 5, 7, 33, 1024),
+        ("side-features", 6, 7, 33, 1024),
+        ("detections", 7, 8, 33, 512),
+        ("tl-crop", 4, 19, 66, 512),
+        ("tl-state", 19, 22, 66, 32),
+        ("point-cloud", 9, 10, 100, 4096),
+        ("lidar-objects", 10, 17, 100, 1024),
+        ("radar-front-raw", 11, 13, 50, 256),
+        ("radar-rear-raw", 12, 13, 50, 256),
+        ("radar-tracks", 13, 17, 50, 128),
+        ("visual-tracks", 8, 17, 33, 256),
+        ("gps-fix", 14, 16, 100, 64),
+        ("imu-sample", 15, 16, 10, 32),
+        ("speed-sample", 34, 16, 10, 16),
+        ("odometry", 35, 16, 10, 16),
+        ("pose", 16, 17, 20, 64),
+        ("fused-objects", 17, 18, 50, 1024),
+        ("occupancy", 18, 21, 100, 2048),
+        ("fused-tracks", 17, 20, 50, 256),
+        ("predictions", 20, 22, 50, 64),
+        ("map-tiles", 31, 21, 200, 1024),
+        ("mission-goals", 32, 22, 200, 32),
+        ("maneuver", 22, 21, 100, 64),
+        ("trajectory", 21, 23, 50, 128),
+        ("steering-cmd", 23, 24, 5, 16),
+        ("throttle-cmd", 23, 25, 5, 16),
+        ("brake-cmd", 23, 26, 5, 16),
+        ("stability-feed", 15, 27, 5, 16),
+        ("v2v-state", 17, 28, 100, 256),
+        ("hmi-frame", 17, 30, 100, 1024),
+        ("telemetry-feed", 23, 29, 50, 128),
+        ("log-stream", 29, 37, 200, 2048),
+        ("alert-cmd", 22, 36, 100, 16),
+        ("heartbeat", 23, 33, 10, 8),
+    ];
+    AvApplication {
+        tasks: TASK_NAMES.iter().map(|&name| AvTask { name }).collect(),
+        messages: MESSAGES
+            .iter()
+            .map(
+                |&(name, source_task, dest_task, period_ms, length_flits)| AvMessage {
+                    name,
+                    source_task,
+                    dest_task,
+                    period: Cycles::new(period_ms * CYCLES_PER_MS),
+                    length_flits,
+                },
+            )
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn benchmark_scale() {
+        let app = av_benchmark();
+        assert_eq!(app.task_count(), 38);
+        assert_eq!(app.message_count(), 39);
+    }
+
+    #[test]
+    fn message_endpoints_are_valid_and_distinct() {
+        let app = av_benchmark();
+        for m in &app.messages {
+            assert!(m.source_task < app.task_count(), "{}", m.name);
+            assert!(m.dest_task < app.task_count(), "{}", m.name);
+            assert_ne!(m.source_task, m.dest_task, "{}", m.name);
+            assert!(m.length_flits >= 1);
+            assert!(!m.period.is_zero());
+        }
+    }
+
+    #[test]
+    fn every_task_participates() {
+        let app = av_benchmark();
+        let mut used = HashSet::new();
+        for m in &app.messages {
+            used.insert(m.source_task);
+            used.insert(m.dest_task);
+        }
+        for (i, t) in app.tasks.iter().enumerate() {
+            assert!(used.contains(&i), "task {} unused", t.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let app = av_benchmark();
+        let task_names: HashSet<_> = app.tasks.iter().map(|t| t.name).collect();
+        assert_eq!(task_names.len(), app.task_count());
+        let msg_names: HashSet<_> = app.messages.iter().map(|m| m.name).collect();
+        assert_eq!(msg_names.len(), app.message_count());
+    }
+
+    #[test]
+    fn periods_span_control_to_logging() {
+        let app = av_benchmark();
+        let min = app.messages.iter().map(|m| m.period).min().unwrap();
+        let max = app.messages.iter().map(|m| m.period).max().unwrap();
+        assert_eq!(min, Cycles::new(5 * CYCLES_PER_MS));
+        assert_eq!(max, Cycles::new(200 * CYCLES_PER_MS));
+    }
+}

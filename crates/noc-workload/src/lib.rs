@@ -1,0 +1,34 @@
+//! Workload generation for real-time NoC schedulability experiments.
+//!
+//! Provides every workload used by the paper's evaluation (§V–VI):
+//!
+//! * [`didactic`] — the three-flow example of Figure 3 / Tables I–II;
+//! * [`synthetic`] — randomly generated flow sets of configurable size
+//!   (uniform periods, uniform packet lengths, random endpoints,
+//!   rate-monotonic priorities) as used for Figure 4;
+//! * [`av`] — an autonomous-vehicle application benchmark (substitute for
+//!   the benchmark of Indrusiak, JSA 2014 — see `DESIGN.md`);
+//! * [`mapping`] — random task→core mappings of an application onto a
+//!   topology, as used for Figure 5;
+//! * [`priority`] — priority assignment policies;
+//! * [`topologies`] — the 26 mesh sizes of Figure 5.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod av;
+pub mod didactic;
+pub mod mapping;
+pub mod priority;
+pub mod synthetic;
+pub mod topologies;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::av::{av_benchmark, AvApplication, AvMessage, AvTask};
+    pub use crate::didactic::{self, DidacticFlows, Figure2Flows};
+    pub use crate::mapping::{random_mapping, MappedApplication};
+    pub use crate::priority::{assign_rate_monotonic, PriorityPolicy};
+    pub use crate::synthetic::{SyntheticSpec, SyntheticWorkload, TrafficPattern};
+    pub use crate::topologies::fig5_topologies;
+}

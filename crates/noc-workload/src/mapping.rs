@@ -1,0 +1,198 @@
+//! Random task→core mappings of an application onto a topology (Figure 5).
+//!
+//! The paper randomly generates 100 mappings of the AV benchmark onto each
+//! of 26 topologies. A mapping places every task on a uniformly random node
+//! (several tasks may share a node — topologies as small as 2×2 must host
+//! all 38 tasks); messages whose endpoints land on the same node produce no
+//! network traffic and are dropped. Priorities are assigned rate-
+//! monotonically over the surviving messages.
+
+use noc_model::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::av::AvApplication;
+use crate::priority::assign_rate_monotonic;
+
+/// An application mapped onto a topology: the resulting analysable system
+/// plus the placement that produced it.
+#[derive(Debug, Clone)]
+pub struct MappedApplication {
+    system: System,
+    placement: Vec<NodeId>,
+    dropped_local: Vec<usize>,
+    message_of_flow: Vec<usize>,
+}
+
+impl MappedApplication {
+    /// The analysable system (only non-local messages become flows).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Node hosting each task, indexed like [`AvApplication::tasks`].
+    pub fn placement(&self) -> &[NodeId] {
+        &self.placement
+    }
+
+    /// Indices (into [`AvApplication::messages`]) of messages dropped
+    /// because both endpoints shared a node.
+    pub fn dropped_local(&self) -> &[usize] {
+        &self.dropped_local
+    }
+
+    /// For each flow of the system, the index of the originating message in
+    /// [`AvApplication::messages`].
+    pub fn message_of_flow(&self, flow: FlowId) -> usize {
+        self.message_of_flow[flow.index()]
+    }
+
+    /// Consumes the mapping, returning the system.
+    pub fn into_system(self) -> System {
+        self.system
+    }
+}
+
+/// Maps `app` onto a fresh `width × height` mesh with placement drawn
+/// deterministically from `seed`.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from system construction (cannot happen for
+/// XY-routed meshes unless every message is local, in which case an empty
+/// system is returned instead of an error).
+///
+/// # Examples
+///
+/// ```
+/// # use noc_workload::av::av_benchmark;
+/// # use noc_workload::mapping::random_mapping;
+/// # use noc_model::prelude::NocConfig;
+/// let app = av_benchmark();
+/// let mapped = random_mapping(&app, 4, 4, NocConfig::default(), 7)?;
+/// assert_eq!(mapped.placement().len(), app.task_count());
+/// // flows + dropped-local messages account for every message:
+/// assert_eq!(
+///     mapped.system().flows().len() + mapped.dropped_local().len(),
+///     app.message_count()
+/// );
+/// # Ok::<(), noc_model::error::ModelError>(())
+/// ```
+pub fn random_mapping(
+    app: &AvApplication,
+    width: u16,
+    height: u16,
+    config: NocConfig,
+    seed: u64,
+) -> Result<MappedApplication, ModelError> {
+    let topology = Topology::mesh(width, height);
+    let nodes = topology.node_count() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let placement: Vec<NodeId> = (0..app.task_count())
+        .map(|_| NodeId::new(rng.gen_range(0..nodes)))
+        .collect();
+
+    let mut survivors = Vec::new();
+    let mut dropped_local = Vec::new();
+    for (idx, m) in app.messages.iter().enumerate() {
+        let src = placement[m.source_task];
+        let dst = placement[m.dest_task];
+        if src == dst {
+            dropped_local.push(idx);
+        } else {
+            survivors.push((idx, src, dst));
+        }
+    }
+    let periods: Vec<Cycles> = survivors
+        .iter()
+        .map(|&(idx, _, _)| app.messages[idx].period)
+        .collect();
+    let priorities = assign_rate_monotonic(&periods);
+
+    let flows = FlowSet::new(
+        survivors
+            .iter()
+            .enumerate()
+            .map(|(i, &(idx, src, dst))| {
+                let m = &app.messages[idx];
+                Flow::builder(src, dst)
+                    .priority(priorities[i])
+                    .period(m.period)
+                    .length_flits(m.length_flits)
+                    .name(m.name)
+                    .build()
+            })
+            .collect(),
+    )?;
+    let system = System::new(topology, config, flows, &XyRouting)?;
+    Ok(MappedApplication {
+        system,
+        placement,
+        dropped_local,
+        message_of_flow: survivors.into_iter().map(|(idx, _, _)| idx).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::av::av_benchmark;
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let app = av_benchmark();
+        let a = random_mapping(&app, 4, 4, NocConfig::default(), 3).unwrap();
+        let b = random_mapping(&app, 4, 4, NocConfig::default(), 3).unwrap();
+        assert_eq!(a.placement(), b.placement());
+        assert_eq!(a.system().flows().len(), b.system().flows().len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_placements() {
+        let app = av_benchmark();
+        let a = random_mapping(&app, 4, 4, NocConfig::default(), 1).unwrap();
+        let b = random_mapping(&app, 4, 4, NocConfig::default(), 2).unwrap();
+        assert_ne!(a.placement(), b.placement());
+    }
+
+    #[test]
+    fn local_messages_are_dropped_not_lost() {
+        let app = av_benchmark();
+        // On a 2x2 mesh collisions are common.
+        let m = random_mapping(&app, 2, 2, NocConfig::default(), 5).unwrap();
+        assert_eq!(
+            m.system().flows().len() + m.dropped_local().len(),
+            app.message_count()
+        );
+        for &idx in m.dropped_local() {
+            let msg = &app.messages[idx];
+            assert_eq!(m.placement()[msg.source_task], m.placement()[msg.dest_task]);
+        }
+    }
+
+    #[test]
+    fn flows_trace_back_to_messages() {
+        let app = av_benchmark();
+        let m = random_mapping(&app, 3, 3, NocConfig::default(), 11).unwrap();
+        for (flow_id, flow) in m.system().flows().iter() {
+            let msg = &app.messages[m.message_of_flow(flow_id)];
+            assert_eq!(flow.period(), msg.period);
+            assert_eq!(flow.length_flits(), msg.length_flits);
+            assert_eq!(flow.name(), Some(msg.name));
+            assert_eq!(m.placement()[msg.source_task], flow.source());
+            assert_eq!(m.placement()[msg.dest_task], flow.dest());
+        }
+    }
+
+    #[test]
+    fn priorities_rate_monotonic_over_survivors() {
+        let app = av_benchmark();
+        let m = random_mapping(&app, 5, 5, NocConfig::default(), 13).unwrap();
+        let sys = m.system();
+        let mut flows: Vec<_> = sys.flows().iter().map(|(_, f)| f.clone()).collect();
+        flows.sort_by_key(|f| f.priority());
+        for pair in flows.windows(2) {
+            assert!(pair[0].period() <= pair[1].period());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Priority assignment policies.
+//!
+//! The paper uses rate-monotonic priority assignment "despite
+//! sub-optimality, given that no optimal assignment is known for this
+//! problem" (§VI). A uniformly random policy is provided for ablation
+//! studies.
+
+use noc_model::ids::Priority;
+use noc_model::time::Cycles;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How unique priority levels 1..=n are assigned to n flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorityPolicy {
+    /// Shorter period ⇒ higher priority; ties broken by flow index. The
+    /// paper's choice.
+    #[default]
+    RateMonotonic,
+    /// A uniformly random permutation of the priority levels (ablation
+    /// baseline).
+    Random,
+}
+
+impl PriorityPolicy {
+    /// Assigns unique priorities to flows with the given `periods`.
+    ///
+    /// The result is indexed like `periods`; level 1 is the highest
+    /// priority. `rng` is only consulted by [`PriorityPolicy::Random`].
+    pub fn assign<R: Rng + ?Sized>(self, periods: &[Cycles], rng: &mut R) -> Vec<Priority> {
+        match self {
+            PriorityPolicy::RateMonotonic => assign_rate_monotonic(periods),
+            PriorityPolicy::Random => {
+                let mut levels: Vec<u32> = (1..=periods.len() as u32).collect();
+                levels.shuffle(rng);
+                levels.into_iter().map(Priority::new).collect()
+            }
+        }
+    }
+}
+
+/// Rate-monotonic assignment: sorts flows by ascending period (ties broken
+/// by index) and hands out priority levels 1..=n in that order.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_workload::priority::assign_rate_monotonic;
+/// # use noc_model::time::Cycles;
+/// # use noc_model::ids::Priority;
+/// let periods = [Cycles::new(900), Cycles::new(100), Cycles::new(500)];
+/// let prios = assign_rate_monotonic(&periods);
+/// assert_eq!(prios, vec![Priority::new(3), Priority::new(1), Priority::new(2)]);
+/// ```
+pub fn assign_rate_monotonic(periods: &[Cycles]) -> Vec<Priority> {
+    let mut order: Vec<usize> = (0..periods.len()).collect();
+    order.sort_by_key(|&i| (periods[i], i));
+    let mut result = vec![Priority::HIGHEST; periods.len()];
+    for (level, &flow_index) in order.iter().enumerate() {
+        result[flow_index] = Priority::new(level as u32 + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_monotonic_orders_by_period() {
+        let periods: Vec<Cycles> = [400u64, 100, 300, 200]
+            .iter()
+            .map(|&p| Cycles::new(p))
+            .collect();
+        let prios = assign_rate_monotonic(&periods);
+        let levels: Vec<u32> = prios.iter().map(|p| p.level()).collect();
+        assert_eq!(levels, vec![4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn rate_monotonic_breaks_ties_by_index() {
+        let periods = vec![Cycles::new(100); 3];
+        let prios = assign_rate_monotonic(&periods);
+        let levels: Vec<u32> = prios.iter().map(|p| p.level()).collect();
+        assert_eq!(levels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn priorities_are_always_a_permutation() {
+        let periods: Vec<Cycles> = (0..50).map(|i| Cycles::new(1000 - i * 7)).collect();
+        for policy in [PriorityPolicy::RateMonotonic, PriorityPolicy::Random] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let prios = policy.assign(&periods, &mut rng);
+            let mut levels: Vec<u32> = prios.iter().map(|p| p.level()).collect();
+            levels.sort_unstable();
+            assert_eq!(levels, (1..=50).collect::<Vec<u32>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic() {
+        let periods: Vec<Cycles> = (0..20).map(|i| Cycles::new(100 + i)).collect();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            PriorityPolicy::Random.assign(&periods, &mut rng_a),
+            PriorityPolicy::Random.assign(&periods, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(assign_rate_monotonic(&[]).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! The 26 mesh topologies of Figure 5.
+//!
+//! The paper maps the AV benchmark onto NoC topologies "from 4 to 100
+//! nodes"; the x-axis of Figure 5 lists the sizes reproduced here, ordered
+//! by node count (ties by width).
+
+use noc_model::topology::MeshDims;
+
+/// The 26 mesh sizes of Figure 5, in the paper's x-axis order.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_workload::topologies::fig5_topologies;
+/// let dims = fig5_topologies();
+/// assert_eq!(dims.len(), 26);
+/// assert_eq!(dims.first().unwrap().len(), 4);    // 2x2
+/// assert_eq!(dims.last().unwrap().len(), 100);   // 10x10
+/// ```
+pub fn fig5_topologies() -> Vec<MeshDims> {
+    const SIZES: [(u16, u16); 26] = [
+        (2, 2),
+        (3, 2),
+        (3, 3),
+        (4, 3),
+        (4, 4),
+        (5, 4),
+        (6, 4),
+        (5, 5),
+        (7, 4),
+        (6, 5),
+        (7, 5),
+        (6, 6),
+        (8, 5),
+        (7, 6),
+        (8, 6),
+        (7, 7),
+        (9, 6),
+        (8, 7),
+        (9, 7),
+        (8, 8),
+        (10, 7),
+        (9, 8),
+        (10, 8),
+        (9, 9),
+        (10, 9),
+        (10, 10),
+    ];
+    SIZES
+        .iter()
+        .map(|&(width, height)| MeshDims { width, height })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_topologies_sorted_by_node_count() {
+        let dims = fig5_topologies();
+        assert_eq!(dims.len(), 26);
+        for pair in dims.windows(2) {
+            assert!(pair[0].len() <= pair[1].len(), "{:?}", pair);
+        }
+    }
+
+    #[test]
+    fn covers_4_to_100_nodes() {
+        let dims = fig5_topologies();
+        assert_eq!(dims.iter().map(MeshDims::len).min(), Some(4));
+        assert_eq!(dims.iter().map(MeshDims::len).max(), Some(100));
+    }
+
+    #[test]
+    fn all_sizes_distinct() {
+        let dims = fig5_topologies();
+        for (i, a) in dims.iter().enumerate() {
+            for b in &dims[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Buffer sizing as a design-space exploration: the paper's
+//! counter-intuitive trade-off, applied.
+//!
+//! ```text
+//! cargo run --release --example buffer_design_space
+//! ```
+//!
+//! Large router buffers improve average-case throughput, but under the
+//! buffer-aware IBN analysis they *worsen* the provable worst case: each
+//! downstream preemption can convert a full contention domain of buffered
+//! flits into extra interference. This example sweeps `buf(Ξ)` for the
+//! didactic system and for a synthetic 4×4 workload, printing the bound on
+//! the victim flow and the whole-set schedulability at every depth — the
+//! data a NoC architect needs to size buffers for predictability.
+
+use noc_mpb::prelude::*;
+use noc_mpb::workload::synthetic::SyntheticSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 1: the didactic system's victim flow τ3.
+    let flows = DidacticFlows::ids();
+    println!("didactic example: IBN bound on the MPB victim τ3 vs buffer depth\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "buf(Ξ)", "bi(3,2)", "R_IBN(τ3)", "slack"
+    );
+    let depths = [1u32, 2, 4, 6, 8, 10, 15, 20, 21, 30, 50, 100];
+    for &b in &depths {
+        let system = didactic::system(b);
+        let report = BufferAware.analyze(&system)?;
+        let r = report.response_time(flows.tau3).expect("schedulable");
+        let bi = u64::from(b) * 3; // buf · linkl · |cd(3,2)|
+        let d = system.flow(flows.tau3).deadline();
+        println!(
+            "{:>8} {:>12} {:>12} {:>10}",
+            b,
+            bi,
+            r.as_u64(),
+            (d - r).as_u64()
+        );
+    }
+    println!(
+        "\nNote the saturation at buf ≥ 21: once bi(3,2) ≥ C1 the min() of\n\
+         Equation 8 selects the XLWX charge and extra buffering stops hurting\n\
+         the bound (it already hurts nothing else — zero-load latency is\n\
+         buffer-independent in this regime).\n"
+    );
+
+    // Part 2: whole-set schedulability on a loaded 4x4 platform.
+    println!("synthetic 4x4, 160 flows x 40 sets: % schedulable vs buffer depth\n");
+    println!("{:>8} {:>14}", "buf(Ξ)", "% schedulable");
+    let spec = SyntheticSpec::paper(4, 4, 160, 2);
+    let systems: Vec<System> = (0..40)
+        .map(|s| spec.generate(0xD51 + s).into_system())
+        .collect();
+    for &b in &[2u32, 4, 8, 16, 32, 64, 100] {
+        let ok = systems
+            .iter()
+            .filter(|sys| {
+                BufferAware
+                    .analyze(&sys.with_buffer_depth(b))
+                    .map(|r| r.is_schedulable())
+                    .unwrap_or(false)
+            })
+            .count();
+        println!(
+            "{:>8} {:>13.0}%",
+            b,
+            100.0 * ok as f64 / systems.len() as f64
+        );
+    }
+    println!(
+        "\nSmaller buffers ⇒ more guaranteed-schedulable systems: time\n\
+         predictability argues for exactly the cheap 2-flit buffers that\n\
+         wormhole switching was designed around."
+    );
+    Ok(())
+}

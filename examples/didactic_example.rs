@@ -1,0 +1,38 @@
+//! The paper's didactic example (§V): regenerates Tables I and II.
+//!
+//! ```text
+//! cargo run --release --example didactic_example
+//! ```
+//!
+//! Three flows on a six-router network, crafted so that τ1 indirectly
+//! interferes with τ3 *downstream* of τ3's contention with τ2 — the
+//! multi-point progressive blocking (MPB) scenario. Expected output:
+//!
+//! * SB is optimistic for τ3 (bound 336, but 350 is observable with 10-flit
+//!   buffers);
+//! * XLWX is safe but pessimistic (460);
+//! * IBN tightens the bound as buffers shrink: 396 (b=10), 348 (b=2).
+
+use noc_mpb::experiments::table2;
+
+fn main() {
+    println!("TABLE I: Flow parameters (didactic example, Figure 3)\n");
+    println!("{}", table2::render_table_i());
+
+    // Exhaustive 1-cycle offset sweep, as in the paper's methodology.
+    let results = table2::run(1);
+    println!("TABLE II: Analysis bounds and worst observed latencies\n");
+    println!("{}", table2::render_table_ii(&results));
+
+    let tau3 = results.rows[2];
+    println!("Headline observations for τ3:");
+    println!(
+        "  – simulated worst case with b=10 ({}) EXCEEDS the SB bound ({}) → SB unsafe under MPB",
+        tau3.sim_b10, tau3.r_sb
+    );
+    println!(
+        "  – IBN tightens XLWX ({}) to {} with b=10 and {} with b=2",
+        tau3.r_xlwx, tau3.r_ibn_b10, tau3.r_ibn_b2
+    );
+    println!("  – smaller buffers ⇒ tighter guarantees (the paper's counter-intuitive result)");
+}

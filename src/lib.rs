@@ -1,0 +1,87 @@
+//! # noc-mpb — buffer-aware MPB bounds for priority-preemptive NoCs
+//!
+//! A from-scratch Rust reproduction of *"Buffer-aware bounds to multi-point
+//! progressive blocking in priority-preemptive NoCs"* (Leandro Soares
+//! Indrusiak, Alan Burns, Borislav Nikolić — DATE 2018).
+//!
+//! Wormhole networks-on-chip with priority-preemptive virtual channels can
+//! give hard real-time guarantees, but *multi-point progressive blocking*
+//! (MPB) lets a single high-priority packet interfere with a victim more
+//! than once: flits that already passed the victim get buffered by a
+//! downstream stall and hit it again when they drain. The paper's **IBN**
+//! analysis bounds that re-interference by the amount of buffering the
+//! contention domain can hold — `bi(i,j) = buf(Ξ)·linkl(Ξ)·|cd(i,j)|` — so
+//! *smaller router buffers yield provably tighter latency bounds*.
+//!
+//! This umbrella crate re-exports the five sub-crates of the workspace:
+//!
+//! * [`model`] (`noc-model`) — topologies, routing, flows, contention
+//!   domains and interference sets (§II–III);
+//! * [`analysis`] (`noc-analysis`) — the IBN analysis and all baselines
+//!   (SB, XLWX, the original Xiong Eq. 4, a naive bound) (§III–IV);
+//! * [`sim`] (`noc-sim`) — a cycle-accurate wormhole simulator with
+//!   credit-based flow control (§II, Table II's `R^sim` columns);
+//! * [`workload`] (`noc-workload`) — the didactic example, the synthetic
+//!   generator and the autonomous-vehicle benchmark (§V–VI);
+//! * [`experiments`] (`noc-experiments`) — harnesses regenerating every
+//!   table and figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use noc_mpb::prelude::*;
+//!
+//! // Four flows on a 4x4 mesh with 2-flit buffers per virtual channel.
+//! let topology = Topology::mesh(4, 4);
+//! let flows = FlowSet::new(vec![
+//!     Flow::builder(NodeId::new(0), NodeId::new(3))
+//!         .priority(Priority::new(1))
+//!         .period(Cycles::new(1_000))
+//!         .length_flits(32)
+//!         .build(),
+//!     Flow::builder(NodeId::new(4), NodeId::new(7))
+//!         .priority(Priority::new(2))
+//!         .period(Cycles::new(2_000))
+//!         .length_flits(64)
+//!         .build(),
+//!     Flow::builder(NodeId::new(0), NodeId::new(7))
+//!         .priority(Priority::new(3))
+//!         .period(Cycles::new(5_000))
+//!         .length_flits(128)
+//!         .build(),
+//! ])?;
+//! let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
+//!
+//! // Worst-case response-time bounds under the buffer-aware analysis:
+//! let report = BufferAware.analyze(&system)?;
+//! assert!(report.is_schedulable());
+//!
+//! // Cross-check with the cycle-accurate simulator:
+//! let mut sim = Simulator::new(&system, ReleasePlan::synchronous(&system));
+//! sim.run_until(Cycles::new(50_000));
+//! for (id, verdict) in report.iter() {
+//!     let observed = sim.flow_stats(id).worst_latency().unwrap();
+//!     assert!(observed <= verdict.response_time().unwrap());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios: `quickstart`,
+//! `didactic_example` (Tables I–II), `mpb_trace` (Figure 2's mechanism,
+//! live), `buffer_design_space` and `av_platform_sizing`.
+
+#![warn(missing_docs)]
+
+pub use noc_analysis as analysis;
+pub use noc_experiments as experiments;
+pub use noc_model as model;
+pub use noc_sim as sim;
+pub use noc_workload as workload;
+
+/// One-stop re-exports for applications.
+pub mod prelude {
+    pub use noc_analysis::prelude::*;
+    pub use noc_model::prelude::*;
+    pub use noc_sim::prelude::*;
+    pub use noc_workload::prelude::*;
+}

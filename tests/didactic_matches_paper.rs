@@ -1,0 +1,85 @@
+//! End-to-end reproduction of the paper's §V results through the public
+//! umbrella API: Table I (flow parameters), Table II (bounds and
+//! simulations) and the qualitative claims built on them.
+
+use noc_mpb::experiments::table2;
+use noc_mpb::prelude::*;
+
+#[test]
+fn table_i_parameters() {
+    let system = didactic::system(2);
+    let flows = DidacticFlows::ids();
+    for (id, c, l, route_len, t, p) in [
+        (flows.tau1, 62, 60, 3, 200, 1),
+        (flows.tau2, 204, 198, 7, 4000, 2),
+        (flows.tau3, 132, 128, 5, 6000, 3),
+    ] {
+        assert_eq!(system.zero_load_latency(id).as_u64(), c);
+        assert_eq!(system.flow(id).length_flits(), l);
+        assert_eq!(system.route(id).len(), route_len);
+        assert_eq!(system.flow(id).period().as_u64(), t);
+        assert_eq!(system.flow(id).deadline().as_u64(), t);
+        assert_eq!(system.flow(id).priority().level(), p);
+    }
+}
+
+#[test]
+fn table_ii_full_reproduction() {
+    // Paper's Table II:
+    //   flow  R_SB  R_XLWX  R_IBN(10)  R_IBN(2)  R_sim(10)  R_sim(2)
+    //   τ1    62    62      62         62        62         62
+    //   τ2    328   328     328        328       324        324
+    //   τ3    336   460     396        348       352        336
+    // Analytical columns are exact; simulation columns match τ1/τ2 exactly
+    // and τ3 within 2 cycles (350/334 vs 352/336 — router restart timing).
+    let results = table2::run(4);
+    let expect = [
+        // (sb, xlwx, ibn10, ibn2, sim10, sim2)
+        (62, 62, 62, 62, 62, 62),
+        (328, 328, 328, 328, 324, 324),
+        (336, 460, 396, 348, 350, 334),
+    ];
+    for (row, e) in results.rows.iter().zip(expect) {
+        assert_eq!(
+            (
+                row.r_sb,
+                row.r_xlwx,
+                row.r_ibn_b10,
+                row.r_ibn_b2,
+                row.sim_b10,
+                row.sim_b2
+            ),
+            e,
+            "flow τ{}",
+            row.flow + 1
+        );
+    }
+}
+
+#[test]
+fn headline_claims() {
+    let results = table2::run(4);
+    let tau3 = results.rows[2];
+    // 1. SB is unsafe under MPB: observable latency exceeds its bound.
+    assert!(tau3.sim_b10 > tau3.r_sb);
+    // 2. XLWX and IBN are safe for every observation.
+    for row in &results.rows {
+        assert!(row.sim_b10 <= row.r_ibn_b10 && row.r_ibn_b10 <= row.r_xlwx);
+        assert!(row.sim_b2 <= row.r_ibn_b2 && row.r_ibn_b2 <= row.r_xlwx);
+    }
+    // 3. IBN is strictly tighter than XLWX on the MPB victim.
+    assert!(tau3.r_ibn_b10 < tau3.r_xlwx);
+    assert!(tau3.r_ibn_b2 < tau3.r_ibn_b10);
+    // 4. The buffered-interference delta (sim) matches the paper: 16 cycles.
+    assert_eq!(tau3.sim_b10 - tau3.sim_b2, 16);
+}
+
+#[test]
+fn renders_are_consistent_with_results() {
+    let results = table2::run(8);
+    let table = table2::render_table_ii(&results);
+    for row in &results.rows {
+        assert!(table.contains(&row.r_xlwx.to_string()));
+    }
+    assert!(table2::render_table_i().contains("132 (128, 5)"));
+}

@@ -1,0 +1,72 @@
+//! Reduced-scale end-to-end runs of the Figure 4 / Figure 5 / buffer-sweep
+//! experiments, asserting the orderings the paper's full-scale plots show.
+
+use noc_mpb::experiments::prelude::*;
+
+#[test]
+fn fig4_reduced_preserves_curve_ordering() {
+    let cfg = Fig4Config {
+        flow_counts: vec![80, 200, 320],
+        sets_per_point: 10,
+        threads: 4,
+        ..Fig4Config::paper_4x4()
+    };
+    let results = fig4::run(&cfg);
+    assert_eq!(results.points.len(), 3);
+    for p in &results.points {
+        assert!(p.sb >= p.ibn_small);
+        assert!(p.ibn_small >= p.ibn_large);
+        assert!(p.ibn_large >= p.xlwx);
+    }
+    // Schedulability declines with load for the safe analyses.
+    let first = &results.points[0];
+    let last = &results.points[2];
+    assert!(first.xlwx >= last.xlwx);
+    assert!(first.ibn_small >= last.ibn_small);
+}
+
+#[test]
+fn fig4_gap_appears_at_moderate_load() {
+    // At 200 flows on 4x4 the paper's Figure 4(a) regime shows IBN clearly
+    // above XLWX.
+    let cfg = Fig4Config {
+        flow_counts: vec![200],
+        sets_per_point: 16,
+        threads: 4,
+        ..Fig4Config::paper_4x4()
+    };
+    let results = fig4::run(&cfg);
+    let p = &results.points[0];
+    assert!(
+        p.ibn_small > p.xlwx,
+        "expected an IBN2-XLWX gap at 200 flows, got {p:?}"
+    );
+}
+
+#[test]
+fn fig5_reduced_preserves_bar_ordering() {
+    let cfg = Fig5Config::paper().reduced(4, 8);
+    let results = fig5::run(&cfg);
+    assert_eq!(results.points.len(), 4);
+    for p in &results.points {
+        assert!(p.ibn_small >= p.ibn_large);
+        assert!(p.ibn_large >= p.xlwx);
+    }
+}
+
+#[test]
+fn buffer_sweep_monotone() {
+    let cfg = BufferSweepConfig {
+        buffer_depths: vec![2, 8, 32, 100],
+        sets: 8,
+        threads: 4,
+        ..BufferSweepConfig::paper()
+    };
+    let results = buffer_sweep::run(&cfg);
+    for pair in results.points.windows(2) {
+        assert!(pair[0].ibn >= pair[1].ibn, "{pair:?}");
+    }
+    for p in &results.points {
+        assert!(p.ibn >= results.xlwx);
+    }
+}
