@@ -119,7 +119,7 @@ impl SyntheticSpec {
             }
             TrafficPattern::Hotspot { node } => {
                 let hot = node.raw() % nodes;
-                if flow_index % 4 != 0 && hot != src {
+                if !flow_index.is_multiple_of(4) && hot != src {
                     hot
                 } else {
                     uniform_dst(rng, src)
