@@ -10,6 +10,7 @@
 
 use noc_model::system::System;
 
+use crate::context::AnalysisContext;
 use crate::engine::{DownstreamModel, JitterModel, Solver};
 use crate::error::AnalysisError;
 use crate::report::{AnalysisReport, FlowExplanation};
@@ -19,17 +20,49 @@ use crate::report::{AnalysisReport, FlowExplanation};
 ///
 /// Object-safe ([C-OBJECT]) so experiment harnesses can iterate over
 /// `&dyn Analysis` collections.
+///
+/// The primitive operations are [`Analysis::analyze_with`] and
+/// [`Analysis::explain_with`], which borrow a shared [`AnalysisContext`];
+/// the [`Analysis::analyze`]/[`Analysis::explain`] conveniences build a
+/// fresh context per call. Harnesses that run several analyses (or several
+/// buffer depths) over one flow set should build the context once and use
+/// the `_with` forms — see [`crate::context`] for the full pattern.
 pub trait Analysis {
     /// Short, stable display name (`"SB"`, `"XLWX"`, `"IBN"`, …).
     fn name(&self) -> &'static str;
 
-    /// Runs the analysis over every flow of `system`.
+    /// Runs the analysis over every flow of the context's system, reusing
+    /// the context's precomputed interference structure.
+    ///
+    /// # Errors
+    ///
+    /// The concrete analyses of this crate never fail here (the fallible
+    /// derivation already happened in [`AnalysisContext::new`]); the
+    /// `Result` keeps the trait open for analyses with their own failure
+    /// modes.
+    fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError>;
+
+    /// [`Analysis::explain`] against a shared context: per-flow interference
+    /// breakdowns at the fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Analysis::analyze_with`].
+    fn explain_with(
+        &self,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Vec<FlowExplanation>, AnalysisError>;
+
+    /// Runs the analysis over every flow of `system`, deriving the
+    /// interference structure from scratch.
     ///
     /// # Errors
     ///
     /// Returns [`AnalysisError::Model`] if the system violates a model
     /// assumption (e.g. non-contiguous contention domains).
-    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError>;
+    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+        self.analyze_with(&AnalysisContext::new(system)?)
+    }
 
     /// Runs the analysis and returns, for every flow, the interference
     /// breakdown at the fixed point: which interferer was charged how many
@@ -39,7 +72,9 @@ pub trait Analysis {
     /// # Errors
     ///
     /// Same conditions as [`Analysis::analyze`].
-    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError>;
+    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        self.explain_with(&AnalysisContext::new(system)?)
+    }
 }
 
 /// Direct interference only, no interference jitter: the naive bound that
@@ -53,16 +88,17 @@ impl Analysis for NoIndirect {
         "NoIndirect"
     }
 
-    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
-        Ok(Solver::new(system, DownstreamModel::Ignore, JitterModel::None)?.solve(self.name()))
+    fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
+        Ok(Solver::new(ctx, DownstreamModel::Ignore, JitterModel::None).solve(self.name()))
     }
 
-    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(
-            Solver::new(system, DownstreamModel::Ignore, JitterModel::None)?
-                .solve_explained(self.name())
-                .1,
-        )
+    fn explain_with(
+        &self,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(Solver::new(ctx, DownstreamModel::Ignore, JitterModel::None)
+            .solve_explained(self.name())
+            .1)
     }
 }
 
@@ -94,21 +130,24 @@ impl Analysis for ShiBurns {
         "SB"
     }
 
-    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+    fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
         Ok(Solver::new(
-            system,
+            ctx,
             DownstreamModel::Ignore,
             JitterModel::InterferenceJitter,
-        )?
+        )
         .solve(self.name()))
     }
 
-    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+    fn explain_with(
+        &self,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Vec<FlowExplanation>, AnalysisError> {
         Ok(Solver::new(
-            system,
+            ctx,
             DownstreamModel::Ignore,
             JitterModel::InterferenceJitter,
-        )?
+        )
         .solve_explained(self.name())
         .1)
     }
@@ -126,21 +165,24 @@ impl Analysis for XiongOriginal {
         "Xiong16"
     }
 
-    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+    fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
         Ok(Solver::new(
-            system,
+            ctx,
             DownstreamModel::Xlwx,
             JitterModel::UpstreamInterference,
-        )?
+        )
         .solve(self.name()))
     }
 
-    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+    fn explain_with(
+        &self,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Vec<FlowExplanation>, AnalysisError> {
         Ok(Solver::new(
-            system,
+            ctx,
             DownstreamModel::Xlwx,
             JitterModel::UpstreamInterference,
-        )?
+        )
         .solve_explained(self.name())
         .1)
     }
@@ -158,23 +200,22 @@ impl Analysis for Xlwx {
         "XLWX"
     }
 
-    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
-        Ok(Solver::new(
-            system,
-            DownstreamModel::Xlwx,
-            JitterModel::InterferenceJitter,
-        )?
-        .solve(self.name()))
+    fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
+        Ok(
+            Solver::new(ctx, DownstreamModel::Xlwx, JitterModel::InterferenceJitter)
+                .solve(self.name()),
+        )
     }
 
-    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(Solver::new(
-            system,
-            DownstreamModel::Xlwx,
-            JitterModel::InterferenceJitter,
-        )?
-        .solve_explained(self.name())
-        .1)
+    fn explain_with(
+        &self,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Vec<FlowExplanation>, AnalysisError> {
+        Ok(
+            Solver::new(ctx, DownstreamModel::Xlwx, JitterModel::InterferenceJitter)
+                .solve_explained(self.name())
+                .1,
+        )
     }
 }
 
@@ -216,21 +257,24 @@ impl Analysis for BufferAware {
         "IBN"
     }
 
-    fn analyze(&self, system: &System) -> Result<AnalysisReport, AnalysisError> {
+    fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
         Ok(Solver::new(
-            system,
+            ctx,
             DownstreamModel::BufferAware,
             JitterModel::InterferenceJitter,
-        )?
+        )
         .solve(self.name()))
     }
 
-    fn explain(&self, system: &System) -> Result<Vec<FlowExplanation>, AnalysisError> {
+    fn explain_with(
+        &self,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Vec<FlowExplanation>, AnalysisError> {
         Ok(Solver::new(
-            system,
+            ctx,
             DownstreamModel::BufferAware,
             JitterModel::InterferenceJitter,
-        )?
+        )
         .solve_explained(self.name())
         .1)
     }

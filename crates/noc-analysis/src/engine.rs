@@ -12,6 +12,11 @@
 //!
 //! solved highest-priority-first so that every `Rⱼ` referenced by the
 //! interference terms of τᵢ is already final.
+//!
+//! The solver does not derive anything from the [`System`] itself: the
+//! interference graph, priority order and zero-load latencies all come from
+//! a borrowed [`AnalysisContext`], so running all five analyses (or one
+//! analysis at several buffer depths) pays for that structure exactly once.
 
 use std::collections::HashMap;
 
@@ -20,7 +25,7 @@ use noc_model::ids::FlowId;
 use noc_model::system::System;
 use noc_model::time::Cycles;
 
-use crate::error::AnalysisError;
+use crate::context::AnalysisContext;
 use crate::report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
 
 /// How downstream indirect interference (the MPB effect) is charged per hit
@@ -60,11 +65,13 @@ const MAX_ITERATIONS: usize = 100_000;
 
 pub(crate) struct Solver<'a> {
     system: &'a System,
-    graph: InterferenceGraph,
+    graph: &'a InterferenceGraph,
+    /// Highest-priority-first solve order, borrowed from the context.
+    order: &'a [FlowId],
     downstream: DownstreamModel,
     jitter: JitterModel,
-    /// Zero-load latencies Cᵢ.
-    c: Vec<u128>,
+    /// Zero-load latencies Cᵢ, borrowed from the context.
+    c: &'a [u128],
     /// Final response times, filled highest-priority-first.
     r: Vec<Option<u128>>,
     /// Memoised `Idown(j,i)` values keyed by the (j, i) pair.
@@ -73,25 +80,20 @@ pub(crate) struct Solver<'a> {
 
 impl<'a> Solver<'a> {
     pub(crate) fn new(
-        system: &'a System,
+        ctx: &'a AnalysisContext<'a>,
         downstream: DownstreamModel,
         jitter: JitterModel,
-    ) -> Result<Self, AnalysisError> {
-        let graph = InterferenceGraph::new(system)?;
-        let c = system
-            .flows()
-            .ids()
-            .map(|id| u128::from(system.zero_load_latency(id).as_u64()))
-            .collect();
-        Ok(Solver {
-            system,
-            graph,
+    ) -> Self {
+        Solver {
+            system: ctx.system(),
+            graph: ctx.graph(),
+            order: ctx.priority_order(),
             downstream,
             jitter,
-            c,
-            r: vec![None; system.flows().len()],
+            c: ctx.zero_load_raw(),
+            r: vec![None; ctx.len()],
             idown_memo: HashMap::new(),
-        })
+        }
     }
 
     /// Runs the analysis over the whole flow set.
@@ -105,11 +107,11 @@ impl<'a> Solver<'a> {
         mut self,
         name: &'static str,
     ) -> (AnalysisReport, Vec<FlowExplanation>) {
-        let order = self.system.flows().ids_by_priority();
+        let order = self.order;
         let n = order.len();
         let mut verdicts = vec![FlowVerdict::NotConverged; n];
         let mut explanations: Vec<Option<FlowExplanation>> = (0..n).map(|_| None).collect();
-        for &i in &order {
+        for &i in order {
             let (verdict, terms) = self.solve_flow(i);
             if let FlowVerdict::Schedulable { response_time } = verdict {
                 self.r[i.index()] = Some(u128::from(response_time.as_u64()));

@@ -12,12 +12,24 @@ pub enum AnalysisError {
     /// The system violates a model assumption the analysis relies on
     /// (non-contiguous contention domain, …).
     Model(ModelError),
+    /// [`AnalysisContext::rebase`](crate::context::AnalysisContext::rebase)
+    /// was asked to rebind a context onto a system whose interference
+    /// structure (flow count, priorities or routes) differs from the one the
+    /// context was built for — sharing the precomputed graph would be
+    /// unsound.
+    ContextMismatch {
+        /// What changed between the context's system and the rebase target.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::Model(e) => write!(f, "model assumption violated: {e}"),
+            AnalysisError::ContextMismatch { detail } => {
+                write!(f, "analysis context incompatible with system: {detail}")
+            }
         }
     }
 }
@@ -26,6 +38,7 @@ impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AnalysisError::Model(e) => Some(e),
+            AnalysisError::ContextMismatch { .. } => None,
         }
     }
 }

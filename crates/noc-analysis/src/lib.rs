@@ -46,6 +46,26 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # Amortising the interference structure
+//!
+//! All five analyses consume the same derived structure (interference graph,
+//! priority order, zero-load latencies). Build an
+//! [`AnalysisContext`] once per flow set and run
+//! every analysis against it with [`Analysis::analyze_with`]; derived
+//! systems (other buffer depths, scaled periods) share the graph through
+//! [`AnalysisContext::rebase`]. The
+//! experiment harnesses in `noc-experiments` rely on this throughout.
+//!
+//! # Module map (code ↔ paper)
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`analysis`] | the five analyses: SB \[11\], Eq. 4 \[12\], Eq. 5/XLWX \[13\], **IBN** (Eq. 6–8, this paper) |
+//! | `engine` (private) | Equation 5 skeleton: the fixed-point recurrence `Rᵢ = Cᵢ + Σ ⌈(Rᵢ+Jⱼ+jitterⱼ)/Tⱼ⌉·(Cⱼ+Idown(j,i))`, Eq. 2 `Iup`, Eq. 3 `Idown`, Eq. 6 `bi(i,j)`, Eq. 8 condition |
+//! | [`context`] | precomputed §III structure shared across analyses (graph from [`noc_model::contention`]) |
+//! | [`report`] | per-flow verdicts/bounds — the `R_*` columns of Table II |
+//! | [`error`] | model-assumption violations surfaced to callers |
+//!
 //! # Safety ordering
 //!
 //! For every flow the bounds are ordered
@@ -57,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod context;
 mod engine;
 pub mod error;
 pub mod report;
@@ -64,6 +85,7 @@ pub mod report;
 pub use analysis::{
     all_analyses, Analysis, BufferAware, NoIndirect, ShiBurns, XiongOriginal, Xlwx,
 };
+pub use context::AnalysisContext;
 pub use error::AnalysisError;
 pub use report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
 
@@ -72,6 +94,7 @@ pub mod prelude {
     pub use crate::analysis::{
         all_analyses, Analysis, BufferAware, NoIndirect, ShiBurns, XiongOriginal, Xlwx,
     };
+    pub use crate::context::AnalysisContext;
     pub use crate::error::AnalysisError;
     pub use crate::report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
 }

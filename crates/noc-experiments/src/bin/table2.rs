@@ -4,21 +4,31 @@
 //! cargo run --release -p noc-experiments --bin table2
 //! ```
 //!
-//! Environment:
-//! * `NOC_MPB_SWEEP_STEP` — offset-sweep granularity in cycles (default 1,
-//!   the exhaustive search).
+//! By default the `R^sim` columns use the pruned critical-instant offset
+//! search (same worst cases as the paper's exhaustive sweep, ~10× fewer
+//! simulations). Environment:
+//!
+//! * `NOC_MPB_SWEEP_EXHAUSTIVE=1` — restore the exhaustive offset sweep;
+//! * `NOC_MPB_SWEEP_STEP` — offset-sweep granularity in cycles for the
+//!   exhaustive mode (default 1); setting it implies the exhaustive mode.
 
 use noc_experiments::table2;
 
 fn main() {
-    let step: u64 = std::env::var("NOC_MPB_SWEEP_STEP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
     println!("TABLE I: Flow parameters\n");
     println!("{}", table2::render_table_i());
-    println!("TABLE II: Analysis and simulation results (offset sweep step = {step})\n");
-    let results = table2::run(step);
+    let results = table2::run_from_env();
+    match results.mode {
+        table2::SweepMode::Exhaustive { step } => println!(
+            "TABLE II: Analysis and simulation results (exhaustive sweep, step = {step}, {} sims)\n",
+            results.sweep_b10.simulations + results.sweep_b2.simulations
+        ),
+        table2::SweepMode::Critical => println!(
+            "TABLE II: Analysis and simulation results (critical-instant sweep, {} sims; \
+             NOC_MPB_SWEEP_EXHAUSTIVE=1 restores the full sweep)\n",
+            results.sweep_b10.simulations + results.sweep_b2.simulations
+        ),
+    }
     println!("{}", table2::render_table_ii(&results));
     println!("Paper values for comparison:");
     println!("  R_SB   = [62, 328, 336]   R_XLWX = [62, 328, 460]");

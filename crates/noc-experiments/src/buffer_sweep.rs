@@ -76,7 +76,8 @@ pub struct BufferSweepResults {
 
 /// Runs the sweep.
 pub fn run(config: &BufferSweepConfig) -> BufferSweepResults {
-    // Generate each set once (buffer depth is swapped per analysis run).
+    // Generate each set once; one AnalysisContext per set is rebased across
+    // every buffer depth (depth never changes the interference graph).
     let spec = SyntheticSpec::paper(config.mesh_width, config.mesh_height, config.n_flows, 2);
     let per_set: Vec<(Vec<bool>, bool)> = par_map_indexed(config.sets, config.threads, |s| {
         let seed = config
@@ -84,18 +85,23 @@ pub fn run(config: &BufferSweepConfig) -> BufferSweepResults {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(s as u64);
         let system = spec.generate(seed).into_system();
+        let Ok(ctx) = AnalysisContext::new(&system) else {
+            return (vec![false; config.buffer_depths.len()], false);
+        };
         let ibn: Vec<bool> = config
             .buffer_depths
             .iter()
             .map(|&b| {
+                let sys = system.with_buffer_depth(b);
+                let depth_ctx = ctx.rebased(&sys);
                 BufferAware
-                    .analyze(&system.with_buffer_depth(b))
+                    .analyze_with(&depth_ctx)
                     .map(|r| r.is_schedulable())
                     .unwrap_or(false)
             })
             .collect();
         let xlwx = Xlwx
-            .analyze(&system)
+            .analyze_with(&ctx)
             .map(|r| r.is_schedulable())
             .unwrap_or(false);
         (ibn, xlwx)

@@ -9,6 +9,9 @@
 //! harness evaluate the safe analyses lazily (cheapest sufficient check
 //! first); [`Fig4Config::exhaustive`] disables the shortcut for
 //! benchmarking, and a unit test asserts both modes agree.
+//!
+//! Each generated flow set builds one [`AnalysisContext`]; all analyses and
+//! both buffer depths share its interference graph.
 
 use noc_analysis::prelude::*;
 use noc_model::system::System;
@@ -120,23 +123,48 @@ pub struct Fig4Results {
     pub points: Vec<Fig4Point>,
 }
 
-/// Evaluates one generated system under all four analyses.
+/// Evaluates one generated system under all four analyses, building the
+/// shared [`AnalysisContext`] internally. Harnesses that already hold a
+/// context should call [`judge_set_with`].
 pub fn judge_set(
     system: &System,
     buffer_small: u32,
     buffer_large: u32,
     exhaustive: bool,
 ) -> SetVerdicts {
-    let schedulable = |analysis: &dyn Analysis, sys: &System| {
+    let Ok(ctx) = AnalysisContext::new(system) else {
+        // A model-assumption violation means no analysis can certify the set.
+        return SetVerdicts {
+            sb: false,
+            xlwx: false,
+            ibn_small: false,
+            ibn_large: false,
+        };
+    };
+    judge_set_with(&ctx, buffer_small, buffer_large, exhaustive)
+}
+
+/// Evaluates one system under all four analyses against a shared context:
+/// the interference graph is derived once and reused by every analysis and
+/// both buffer depths (via [`AnalysisContext::rebase`]).
+pub fn judge_set_with(
+    ctx: &AnalysisContext<'_>,
+    buffer_small: u32,
+    buffer_large: u32,
+    exhaustive: bool,
+) -> SetVerdicts {
+    let schedulable = |analysis: &dyn Analysis, ctx: &AnalysisContext<'_>| {
         analysis
-            .analyze(sys)
+            .analyze_with(ctx)
             .map(|r| r.is_schedulable())
             .unwrap_or(false)
     };
-    let small = system.with_buffer_depth(buffer_small);
+    let small_sys = ctx.system().with_buffer_depth(buffer_small);
+    let small = ctx.rebased(&small_sys);
     let sb = schedulable(&ShiBurns, &small);
     if exhaustive {
-        let large = system.with_buffer_depth(buffer_large);
+        let large_sys = ctx.system().with_buffer_depth(buffer_large);
+        let large = ctx.rebased(&large_sys);
         return SetVerdicts {
             sb,
             xlwx: schedulable(&Xlwx, &small),
@@ -161,7 +189,9 @@ pub fn judge_set(
     let ibn_large = if xlwx {
         true
     } else {
-        schedulable(&BufferAware, &system.with_buffer_depth(buffer_large))
+        let large_sys = ctx.system().with_buffer_depth(buffer_large);
+        let large = ctx.rebased(&large_sys);
+        schedulable(&BufferAware, &large)
     };
     SetVerdicts {
         sb,

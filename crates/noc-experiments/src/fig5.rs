@@ -94,20 +94,27 @@ fn judge_mapping(
     let mapped =
         random_mapping(app, dims.width, dims.height, noc, seed).expect("mesh mapping cannot fail");
     let system = mapped.system();
-    let schedulable = |analysis: &dyn Analysis, sys: &System| {
+    // One context per mapping: XLWX and both IBN depths share the graph.
+    let Ok(ctx) = AnalysisContext::new(system) else {
+        return (false, false, false);
+    };
+    let schedulable = |analysis: &dyn Analysis, ctx: &AnalysisContext<'_>| {
         analysis
-            .analyze(sys)
+            .analyze_with(ctx)
             .map(|r| r.is_schedulable())
             .unwrap_or(false)
     };
     // Lazy evaluation along sched(XLWX) ⊆ sched(IBN100) ⊆ sched(IBN2).
-    let ibn_small = schedulable(&BufferAware, system);
+    let ibn_small = schedulable(&BufferAware, &ctx);
     if !ibn_small {
         return (false, false, false);
     }
-    let xlwx = schedulable(&Xlwx, system);
-    let ibn_large =
-        xlwx || schedulable(&BufferAware, &system.with_buffer_depth(config.buffer_large));
+    let xlwx = schedulable(&Xlwx, &ctx);
+    let ibn_large = xlwx || {
+        let large_sys = system.with_buffer_depth(config.buffer_large);
+        let large = ctx.rebased(&large_sys);
+        schedulable(&BufferAware, &large)
+    };
     (xlwx, ibn_small, ibn_large)
 }
 

@@ -19,13 +19,18 @@ use crate::table::TextTable;
 /// Fixed-point denominator for the scaling search (1/1024 resolution).
 const DENOM: u64 = 1 << 10;
 
-/// Returns whether `system` with periods scaled by `num/DENOM` is fully
-/// schedulable under `analysis`.
-fn schedulable_at(system: &System, analysis: &dyn Analysis, num: u64) -> bool {
-    system
+/// Returns whether the context's system with periods scaled by `num/DENOM`
+/// is fully schedulable under `analysis`. Period scaling preserves routes
+/// and priorities, so the scaled system shares the context's interference
+/// graph via [`AnalysisContext::rebase`].
+fn schedulable_at(ctx: &AnalysisContext<'_>, analysis: &dyn Analysis, num: u64) -> bool {
+    ctx.system()
         .with_scaled_periods(num, DENOM)
         .ok()
-        .and_then(|s| analysis.analyze(&s).ok())
+        .and_then(|s| {
+            let scaled = ctx.rebase(&s).ok()?;
+            analysis.analyze_with(&scaled).ok()
+        })
         .map(|r| r.is_schedulable())
         .unwrap_or(false)
 }
@@ -58,18 +63,26 @@ fn schedulable_at(system: &System, analysis: &dyn Analysis, num: u64) -> bool {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn breakdown_factor(system: &System, analysis: &dyn Analysis) -> Option<f64> {
+    let ctx = AnalysisContext::new(system).ok()?;
+    breakdown_factor_with(&ctx, analysis)
+}
+
+/// [`breakdown_factor`] against a shared [`AnalysisContext`]: every probe of
+/// the binary search (≈ 12 analyses) rebases the context instead of
+/// re-deriving the interference graph.
+pub fn breakdown_factor_with(ctx: &AnalysisContext<'_>, analysis: &dyn Analysis) -> Option<f64> {
     let mut hi = DENOM * 64;
-    if !schedulable_at(system, analysis, hi) {
+    if !schedulable_at(ctx, analysis, hi) {
         return None;
     }
     let mut lo = DENOM / 64;
-    if schedulable_at(system, analysis, lo) {
+    if schedulable_at(ctx, analysis, lo) {
         return Some(lo as f64 / DENOM as f64);
     }
     // Invariant: unschedulable at lo, schedulable at hi.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if schedulable_at(system, analysis, mid) {
+        if schedulable_at(ctx, analysis, mid) {
             hi = mid;
         } else {
             lo = mid;
@@ -166,12 +179,27 @@ pub fn run(config: &ScalingConfig) -> ScalingResults {
         let system = spec.generate(seed).into_system();
         let small = system.with_buffer_depth(config.buffers.0);
         let large = system.with_buffer_depth(config.buffers.1);
+        // One interference graph serves all four analyses × two depths ×
+        // every binary-search probe.
+        let ctx = match AnalysisContext::new(&small) {
+            Ok(ctx) => ctx,
+            Err(_) => {
+                return BreakdownRow {
+                    seed,
+                    sb: None,
+                    xlwx: None,
+                    ibn_small: None,
+                    ibn_large: None,
+                }
+            }
+        };
+        let large_ctx = ctx.rebased(&large);
         BreakdownRow {
             seed,
-            sb: breakdown_factor(&small, &ShiBurns),
-            xlwx: breakdown_factor(&small, &Xlwx),
-            ibn_small: breakdown_factor(&small, &BufferAware),
-            ibn_large: breakdown_factor(&large, &BufferAware),
+            sb: breakdown_factor_with(&ctx, &ShiBurns),
+            xlwx: breakdown_factor_with(&ctx, &Xlwx),
+            ibn_small: breakdown_factor_with(&ctx, &BufferAware),
+            ibn_large: breakdown_factor_with(&large_ctx, &BufferAware),
         }
     });
     ScalingResults { rows }
@@ -235,11 +263,26 @@ mod tests {
     fn schedulability_is_monotone_in_scale() {
         // Empirical cross-check of the binary search's soundness premise.
         let sys = loaded_system(11);
+        let ctx = AnalysisContext::new(&sys).unwrap();
         let mut last = false;
         for num in [256u64, 512, 1024, 2048, 4096, 16384] {
-            let ok = schedulable_at(&sys, &BufferAware, num);
+            let ok = schedulable_at(&ctx, &BufferAware, num);
             assert!(ok || !last, "schedulability regressed as periods grew");
             last = ok;
+        }
+    }
+
+    #[test]
+    fn context_backed_breakdown_matches_direct_path() {
+        let sys = loaded_system(5);
+        let ctx = AnalysisContext::new(&sys).unwrap();
+        for analysis in [&ShiBurns as &dyn Analysis, &Xlwx, &BufferAware] {
+            assert_eq!(
+                breakdown_factor(&sys, analysis),
+                breakdown_factor_with(&ctx, analysis),
+                "{}",
+                analysis.name()
+            );
         }
     }
 

@@ -40,6 +40,10 @@ impl NocConfig {
 
     /// FIFO buffer depth per virtual channel, in flits — the paper's
     /// `buf(Ξ)`.
+    ///
+    /// Depths of **at least 2** keep the cycle-accurate simulator inside
+    /// Equation 1's streaming assumption; see
+    /// [`NocConfigBuilder::buffer_depth`] for the fidelity precondition.
     pub fn buffer_depth(&self) -> u32 {
         self.buffer_depth
     }
@@ -106,6 +110,28 @@ pub struct NocConfigBuilder {
 
 impl NocConfigBuilder {
     /// Sets the per-VC FIFO depth in flits (`buf(Ξ)`).
+    ///
+    /// # Simulator-fidelity precondition: `buf(Ξ) ≥ 2`
+    ///
+    /// The zero-load latency of Equation 1 assumes a packet's flits stream
+    /// through each router back to back. With a **1-flit** buffer the
+    /// credit-based flow control of the reference router (Figure 1) cannot
+    /// stream: the upstream router must wait a full credit round-trip
+    /// before sending the next flit, so even an uncontended packet incurs
+    /// stall bubbles beyond Equation 1. Consequences:
+    ///
+    /// * the **analyses** stay well-defined and safe *with respect to the
+    ///   modelled router* at `buf(Ξ) = 1` (Equation 6 simply charges one
+    ///   flit per contention-domain link), but
+    /// * the **cycle-accurate simulator** (`noc-sim`) can observe latencies
+    ///   above `R^IBN` at depth 1, because its credit stalls are real
+    ///   hardware behaviour Equation 1 does not model. The end-to-end
+    ///   soundness chain `R^sim ≤ R^IBN ≤ R^XLWX` is therefore only
+    ///   asserted for `buf(Ξ) ≥ 2` (`tests/soundness_invariant.rs` pins
+    ///   this boundary; depth 1 is exercised analytically only).
+    ///
+    /// Use depth 1 for analytical what-if studies; use ≥ 2 whenever
+    /// simulation results are compared against bounds.
     ///
     /// # Panics
     ///

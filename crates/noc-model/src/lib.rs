@@ -37,17 +37,31 @@
 //! # Ok::<(), noc_model::error::ModelError>(())
 //! ```
 //!
-//! # Crate layout
+//! # Module map (code ↔ paper)
 //!
-//! * [`ids`] — strongly-typed identifiers ([`NodeId`], [`RouterId`],
-//!   [`LinkId`], [`FlowId`], [`Priority`]).
-//! * [`time`] — the [`Cycles`] time unit.
-//! * [`topology`] — routers, nodes, links, 2D meshes and a builder.
-//! * [`route`], [`routing`] — routes and the XY / table routing functions.
-//! * [`flow`] — flows and validated flow sets.
-//! * [`config`], [`system`] — homogeneous router parameters and the fully
-//!   routed [`System`].
-//! * [`contention`] — contention domains and interference sets.
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`ids`] | strongly-typed identifiers ([`NodeId`], [`RouterId`], [`LinkId`], [`FlowId`], [`Priority`] πᵢ) |
+//! | [`time`] | the [`Cycles`] time unit every latency is measured in |
+//! | [`topology`] | §II platform model: routers ξ, nodes, unidirectional links λ, 2D meshes |
+//! | [`route`], [`routing`] | `routeᵢ` and the deterministic routing functions (XY/YX/table) |
+//! | [`flow`] | §II traffic-flow model τᵢ = (Pᵢ, Cᵢ, Tᵢ, Dᵢ, Jᵢ, πˢᵢ, πᵈᵢ) |
+//! | [`config`], [`system`] | `buf(Ξ)`, `vc(Ξ)`, `linkl(Ξ)`, `routl(Ξ)`; the routed [`System`] and Equation 1 ([`System::zero_load_latency`]) |
+//! | [`contention`] | §III: contention domains `cd(i,j)`, interference sets `S^D_i`/`S^I_i`, up/down partitions |
+//!
+//! Downstream crates build on this model: `noc-analysis` implements the
+//! response-time bounds (Equations 2–8), `noc-sim` the cycle-accurate
+//! router of Figure 1, `noc-experiments` the tables and figures.
+//!
+//! # The `buf(Ξ) ≥ 2` fidelity precondition
+//!
+//! Equation 1 assumes flits stream through routers at link rate. A 1-flit
+//! input buffer cannot stream — the credit round-trip inserts a bubble
+//! behind every flit — so the cycle-accurate simulator in `noc-sim` only
+//! attains Equation 1's zero-load latency (and the end-to-end soundness
+//! chain `R^sim ≤ R^IBN` only holds) for buffer depths of **at least two
+//! flits**. The analyses themselves remain well-defined at `buf(Ξ) = 1`;
+//! see [`config::NocConfigBuilder::buffer_depth`] for the full statement.
 //!
 //! [`NodeId`]: ids::NodeId
 //! [`RouterId`]: ids::RouterId
@@ -56,6 +70,7 @@
 //! [`Priority`]: ids::Priority
 //! [`Cycles`]: time::Cycles
 //! [`System`]: system::System
+//! [`System::zero_load_latency`]: system::System::zero_load_latency
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -31,14 +31,34 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! # Fidelity notes
+//! # Module map (code ↔ paper)
 //!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`engine`] | the §II / Figure 1 router: per-priority VCs, credit-based flow control, preemptive arbitration |
+//! | [`flit`] | header/payload/tail flits of the wormhole model |
+//! | [`release`] | packet release phasings (synchronous, offsets, jitter patterns) |
+//! | [`search`] | Table II `R^sim` methodology: exhaustive offset sweep and the pruned critical-instant candidate search |
+//! | [`stats`] | per-flow best/worst observed latencies |
+//! | [`trace`] | event traces — `examples/mpb_trace` replays Figure 2's MPB mechanism from these |
+//!
+//! # Fidelity preconditions
+//!
+//! * **`buf(Ξ) ≥ 2`.** Equation 1 assumes flits stream at link rate; with
+//!   a 1-flit buffer the credit round-trip inserts a bubble behind every
+//!   flit, so observed latencies can exceed Equation 1's zero-load latency
+//!   — and hence cross the analytical bounds built on it. All
+//!   simulation-vs-bound comparisons (`R^sim ≤ R^IBN ≤ R^XLWX`,
+//!   `tests/soundness_invariant.rs`) require depths of at least two flits;
+//!   the full statement lives on
+//!   [`noc_model::config::NocConfigBuilder::buffer_depth`].
 //! * With `routl = 0`, `linkl = 1` and `buf(Ξ) ≥ 2`, an uncontended packet
 //!   achieves exactly the zero-load latency of Equation 1 (tested).
 //! * A blocked high-priority packet with exhausted credits releases its
 //!   links to lower-priority traffic — the root cause of MPB.
 //! * Observed latencies are *lower* bounds on the true worst case; use
-//!   [`search::search_worst_case`] to sweep release offsets.
+//!   [`search::search_worst_case`] with [`search::offset_sweep`] or
+//!   [`search::critical_offset_sweep`] to explore release offsets.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -60,7 +80,10 @@ pub mod prelude {
     pub use crate::engine::Simulator;
     pub use crate::flit::Flit;
     pub use crate::release::{JitterPattern, ReleasePlan};
-    pub use crate::search::{offset_sweep, search_worst_case, SearchOutcome};
+    pub use crate::search::{
+        critical_offset_candidates, critical_offset_sweep, offset_sweep, search_worst_case,
+        SearchOutcome,
+    };
     pub use crate::stats::FlowStats;
     pub use crate::trace::TraceEvent;
 }

@@ -4,6 +4,18 @@
 //! observes one phasing per run. To approximate the worst case (the `R^sim`
 //! columns of Table II) the paper's methodology sweeps the relative offsets
 //! of the interfering flows and records the worst latency seen.
+//!
+//! Two search strategies are provided:
+//!
+//! * [`offset_sweep`] — the exhaustive grid (every offset in steps of
+//!   `step`), the paper's original methodology;
+//! * [`critical_offset_candidates`] / [`critical_offset_sweep`] — a pruned
+//!   enumeration of only those offsets at which some interferer's alignment
+//!   against the swept flow can change (derived from the flow set's
+//!   periods, jitters and zero-load latencies), typically an order of
+//!   magnitude fewer simulations for the same worst case.
+
+use std::collections::BTreeSet;
 
 use noc_model::ids::FlowId;
 use noc_model::system::System;
@@ -97,6 +109,111 @@ pub fn offset_sweep(
     plans
 }
 
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Critical-instant candidate offsets for `swept` over `0..range`.
+///
+/// Shifting the swept flow's release by one cycle only changes the observed
+/// worst case when the shift re-aligns one of its packets against an event
+/// of another flow. With every other flow released at time zero (the
+/// [`offset_sweep`] scenario), those events live on each interferer's
+/// release lattice `{k·T_f}` shifted by its jitter `J_f` and by packet
+/// extents — the zero-load latencies `C_f` (when τ_f's tail clears a
+/// resource) and `C_swept` (when the swept packet's own tail arrives).
+/// Because the swept flow's releases repeat with its period, only the
+/// residues of those event times modulo `range` matter.
+///
+/// The candidate set is therefore
+/// `{ (k·T_f + δ) mod range : δ ∈ {0, J_f, C_f, C_f+J_f, −C_s, C_f−C_s} }`
+/// for every other flow τ_f, each with a ±1-cycle guard band (the windows
+/// are half-open, so the extremum can sit one cycle to either side of an
+/// alignment point), plus offset 0 (the synchronous release). Offsets are
+/// returned sorted and deduplicated. The lattice residues
+/// `{k·T_f mod range}` are exactly the multiples of `gcd(range, T_f)` and
+/// are enumerated in full — tiny for harmonic periods (a single residue
+/// when `T_f` divides `range`), degenerating to every offset of the
+/// exhaustive grid for co-prime period pairs, so pruning never drops an
+/// alignment the grid would visit.
+///
+/// This is a *heuristic* in the presence of feedback (a shifted packet can
+/// change downstream stalls, which shifts later events); the
+/// `sweep_equivalence` integration test pins it against the exhaustive
+/// sweep on the didactic workloads, and `NOC_MPB_SWEEP_EXHAUSTIVE=1`
+/// restores the grid search end to end.
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// # use noc_sim::search::critical_offset_candidates;
+/// # let topology = Topology::mesh(3, 1);
+/// # let flows = FlowSet::new(vec![
+/// #     Flow::builder(NodeId::new(0), NodeId::new(2))
+/// #         .priority(Priority::new(1)).period(Cycles::new(200)).length_flits(4).build(),
+/// #     Flow::builder(NodeId::new(1), NodeId::new(2))
+/// #         .priority(Priority::new(2)).period(Cycles::new(800)).length_flits(8).build(),
+/// # ])?;
+/// # let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
+/// let candidates = critical_offset_candidates(&system, FlowId::new(0), Cycles::new(200));
+/// // Far fewer than the 200 offsets of the exhaustive grid:
+/// assert!(candidates.len() < 40);
+/// assert!(candidates.contains(&Cycles::ZERO));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `range` is zero.
+pub fn critical_offset_candidates(system: &System, swept: FlowId, range: Cycles) -> Vec<Cycles> {
+    let t = range.as_u64();
+    assert!(t >= 1, "sweep range must be positive");
+    let c_s = i128::from(system.zero_load_latency(swept).as_u64());
+    let mut candidates: BTreeSet<u64> = BTreeSet::new();
+    let mut push = |v: i128| {
+        let m = v.rem_euclid(i128::from(t)) as u64;
+        candidates.insert(m);
+        candidates.insert((m + 1) % t);
+        candidates.insert((m + t - 1) % t);
+    };
+    push(0);
+    for (id, flow) in system.flows().iter() {
+        if id == swept {
+            continue;
+        }
+        let t_f = (u128::from(flow.period().as_u64()) % u128::from(t)) as u64;
+        let j_f = i128::from(flow.jitter().as_u64());
+        let c_f = i128::from(system.zero_load_latency(id).as_u64());
+        // {k·T_f mod t} = the multiples of gcd(t, T_f); gcd(t, 0) = t keeps
+        // the harmonic case (T_f divides t) at the single residue 0.
+        let g = gcd(t, t_f);
+        for base in (0..t).step_by(usize::try_from(g).unwrap_or(usize::MAX)) {
+            for delta in [0, j_f, c_f, c_f + j_f, -c_s, c_f - c_s] {
+                push(i128::from(base) + delta);
+            }
+        }
+    }
+    candidates.into_iter().map(Cycles::new).collect()
+}
+
+/// Builds one plan per [`critical_offset_candidates`] offset of `swept`,
+/// all other flows released at time zero — the pruned counterpart of
+/// [`offset_sweep`].
+///
+/// # Panics
+///
+/// Panics if `range` is zero.
+pub fn critical_offset_sweep(system: &System, swept: FlowId, range: Cycles) -> Vec<ReleasePlan> {
+    critical_offset_candidates(system, swept, range)
+        .into_iter()
+        .map(|offset| ReleasePlan::synchronous(system).with_offset(swept, offset))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +283,106 @@ mod tests {
     fn zero_step_rejected() {
         let sys = contended_system();
         let _ = offset_sweep(&sys, FlowId::new(0), Cycles::new(10), Cycles::ZERO);
+    }
+
+    #[test]
+    fn candidates_are_sorted_deduplicated_and_in_range() {
+        let sys = contended_system();
+        let range = Cycles::new(200);
+        let candidates = critical_offset_candidates(&sys, FlowId::new(0), range);
+        assert!(!candidates.is_empty());
+        for pair in candidates.windows(2) {
+            assert!(pair[0] < pair[1], "not strictly ascending: {pair:?}");
+        }
+        assert!(candidates.iter().all(|&c| c < range));
+        // The synchronous release is always a candidate.
+        assert!(candidates.contains(&Cycles::ZERO));
+    }
+
+    #[test]
+    fn candidates_include_latency_alignments() {
+        let sys = contended_system();
+        // Sweeping τ0 against τ1: τ1's zero-load latency mod 200 and the
+        // relative alignment C₁ − C₀ must both be candidates.
+        let c0 = sys.zero_load_latency(FlowId::new(0)).as_u64() as i128;
+        let c1 = sys.zero_load_latency(FlowId::new(1)).as_u64() as i128;
+        let candidates = critical_offset_candidates(&sys, FlowId::new(0), Cycles::new(200));
+        for expect in [c1.rem_euclid(200), (c1 - c0).rem_euclid(200)] {
+            assert!(
+                candidates.contains(&Cycles::new(expect as u64)),
+                "missing alignment offset {expect} in {candidates:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_sweep_never_beats_bounds_and_spans_candidates() {
+        let sys = contended_system();
+        let plans = critical_offset_sweep(&sys, FlowId::new(0), Cycles::new(200));
+        let candidates = critical_offset_candidates(&sys, FlowId::new(0), Cycles::new(200));
+        assert_eq!(plans.len(), candidates.len());
+        for (plan, offset) in plans.iter().zip(&candidates) {
+            assert_eq!(plan.offset(FlowId::new(0)), *offset);
+        }
+    }
+
+    #[test]
+    fn critical_sweep_finds_the_exhaustive_worst_case_here() {
+        // On this two-flow system the pruned search must reproduce the
+        // exhaustive grid's worst observed latency for the victim.
+        let sys = contended_system();
+        let victim = FlowId::new(1);
+        let horizon = Cycles::new(5_000);
+        let exhaustive = search_worst_case(
+            &sys,
+            victim,
+            offset_sweep(&sys, FlowId::new(0), Cycles::new(200), Cycles::ONE),
+            horizon,
+        )
+        .unwrap();
+        let pruned = search_worst_case(
+            &sys,
+            victim,
+            critical_offset_sweep(&sys, FlowId::new(0), Cycles::new(200)),
+            horizon,
+        )
+        .unwrap();
+        assert_eq!(pruned.worst_latency, exhaustive.worst_latency);
+    }
+
+    #[test]
+    fn coprime_periods_degenerate_to_the_full_grid() {
+        // An interferer whose period is co-prime with the sweep range has
+        // gcd 1, so its release lattice hits every residue: the candidate
+        // set must cover the whole exhaustive grid rather than silently
+        // truncating it.
+        let topology = Topology::mesh(3, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(1))
+                .period(Cycles::new(200))
+                .length_flits(20)
+                .build(),
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(2))
+                .period(Cycles::new(201))
+                .length_flits(40)
+                .build(),
+        ])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let candidates = critical_offset_candidates(&sys, FlowId::new(0), Cycles::new(200));
+        assert_eq!(
+            candidates.len(),
+            200,
+            "co-prime lattice must cover the grid"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_rejected() {
+        let sys = contended_system();
+        let _ = critical_offset_candidates(&sys, FlowId::new(0), Cycles::ZERO);
     }
 }

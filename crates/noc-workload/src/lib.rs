@@ -1,17 +1,21 @@
 //! Workload generation for real-time NoC schedulability experiments.
 //!
-//! Provides every workload used by the paper's evaluation (§V–VI):
+//! Provides every workload used by the paper's evaluation (§V–VI).
 //!
-//! * [`didactic`] — the three-flow example of Figure 3 / Tables I–II;
-//! * [`synthetic`] — randomly generated flow sets of configurable size
-//!   (uniform periods, uniform packet lengths, random endpoints,
-//!   rate-monotonic priorities) as used for Figure 4;
-//! * [`av`] — an autonomous-vehicle application benchmark (substitute for
-//!   the benchmark of Indrusiak, JSA 2014 — see `DESIGN.md`);
-//! * [`mapping`] — random task→core mappings of an application onto a
-//!   topology, as used for Figure 5;
-//! * [`priority`] — priority assignment policies;
-//! * [`topologies`] — the 26 mesh sizes of Figure 5.
+//! # Module map (code ↔ paper)
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`didactic`] | §V: the Figure 3 three-flow example behind Tables I–II, plus the Figure 2 MPB-mechanism scenario |
+//! | [`synthetic`] | §VI generator for Figure 4: uniform periods/lengths, random endpoints, rate-monotonic priorities |
+//! | [`av`] | the autonomous-vehicle benchmark of Figure 5 (substitute for Indrusiak, JSA 2014 — see `DESIGN.md`) |
+//! | [`mapping`] | random task→core mappings onto meshes, as swept in Figure 5 |
+//! | [`priority`] | priority-assignment policies (rate-monotonic is the paper's) |
+//! | [`topologies`] | the 26 mesh sizes of Figure 5's x-axis |
+//!
+//! Systems produced here feed the bounds in `noc-analysis` (via its shared
+//! `AnalysisContext`), the simulator in `noc-sim`, and the harnesses in
+//! `noc-experiments`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

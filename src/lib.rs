@@ -18,13 +18,19 @@
 //! * [`model`] (`noc-model`) — topologies, routing, flows, contention
 //!   domains and interference sets (§II–III);
 //! * [`analysis`] (`noc-analysis`) — the IBN analysis and all baselines
-//!   (SB, XLWX, the original Xiong Eq. 4, a naive bound) (§III–IV);
+//!   (SB, XLWX, the original Xiong Eq. 4, a naive bound) (§III–IV), plus
+//!   the shared [`analysis::AnalysisContext`] that amortises the
+//!   interference structure across analyses;
 //! * [`sim`] (`noc-sim`) — a cycle-accurate wormhole simulator with
-//!   credit-based flow control (§II, Table II's `R^sim` columns);
+//!   credit-based flow control (§II, Table II's `R^sim` columns); note the
+//!   `buf(Ξ) ≥ 2` fidelity precondition documented in its crate docs;
 //! * [`workload`] (`noc-workload`) — the didactic example, the synthetic
 //!   generator and the autonomous-vehicle benchmark (§V–VI);
 //! * [`experiments`] (`noc-experiments`) — harnesses regenerating every
 //!   table and figure.
+//!
+//! Each sub-crate's docs open with a module map tying its modules to the
+//! paper's equations, figures and tables.
 //!
 //! # Quick start
 //!

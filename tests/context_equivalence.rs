@@ -1,0 +1,91 @@
+//! Regression guard for the shared-context refactor: analyses run through a
+//! precomputed [`AnalysisContext`] — including contexts *rebased* onto
+//! buffer-depth and period-scale variants — must return bit-identical
+//! [`AnalysisReport`]s (and explanations) to the direct
+//! [`Analysis::analyze`] path that derives the interference structure from
+//! scratch per call.
+
+use noc_mpb::prelude::*;
+use noc_mpb::workload::didactic;
+use noc_mpb::workload::synthetic::SyntheticSpec;
+
+fn synthetic_systems() -> Vec<(String, System)> {
+    let mut out = Vec::new();
+    for (seed, mesh, n_flows) in [(41u64, 3u16, 8usize), (42, 4, 14), (43, 4, 24)] {
+        let mut spec = SyntheticSpec::paper(mesh, mesh, n_flows, 2);
+        spec.period_range = (400, 8_000);
+        spec.length_range = (4, 96);
+        out.push((
+            format!("seed={seed} mesh={mesh}x{mesh} n={n_flows}"),
+            spec.generate(seed).into_system(),
+        ));
+    }
+    out.push(("didactic b=2".into(), didactic::system(2)));
+    out.push(("figure2 b=4".into(), didactic::figure2_system(4)));
+    out
+}
+
+#[test]
+fn context_backed_reports_are_bit_identical_to_direct_path() {
+    for (label, system) in synthetic_systems() {
+        let ctx = AnalysisContext::new(&system).unwrap();
+        for analysis in all_analyses() {
+            let direct = analysis.analyze(&system).unwrap();
+            let shared = analysis.analyze_with(&ctx).unwrap();
+            assert_eq!(direct, shared, "[{label}] {}", analysis.name());
+            let direct_expl = analysis.explain(&system).unwrap();
+            let shared_expl = analysis.explain_with(&ctx).unwrap();
+            assert_eq!(direct_expl, shared_expl, "[{label}] {}", analysis.name());
+        }
+    }
+}
+
+#[test]
+fn rebased_buffer_depths_match_fresh_contexts() {
+    for (label, system) in synthetic_systems() {
+        let ctx = AnalysisContext::new(&system).unwrap();
+        for depth in [1u32, 2, 10, 100] {
+            let variant = system.with_buffer_depth(depth);
+            let rebased = ctx.rebase(&variant).unwrap();
+            let direct = BufferAware.analyze(&variant).unwrap();
+            let shared = BufferAware.analyze_with(&rebased).unwrap();
+            assert_eq!(direct, shared, "[{label}] depth={depth}");
+        }
+    }
+}
+
+#[test]
+fn rebased_period_scales_match_fresh_contexts() {
+    for (label, system) in synthetic_systems() {
+        let ctx = AnalysisContext::new(&system).unwrap();
+        for (num, den) in [(1u64, 2u64), (3, 4), (2, 1), (13, 7)] {
+            let variant = system.with_scaled_periods(num, den).unwrap();
+            let rebased = ctx.rebase(&variant).unwrap();
+            for analysis in all_analyses() {
+                let direct = analysis.analyze(&variant).unwrap();
+                let shared = analysis.analyze_with(&rebased).unwrap();
+                assert_eq!(
+                    direct,
+                    shared,
+                    "[{label}] {} × {num}/{den}",
+                    analysis.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rebased_heterogeneous_buffers_match_fresh_contexts() {
+    let system = didactic::system(2);
+    let ctx = AnalysisContext::new(&system).unwrap();
+    // Deepen one router's buffers: per-router overrides keep the routes and
+    // priorities, so the context rebases; the analysis must still pick the
+    // override up from the new system.
+    let router = system.topology().router_ids().next().expect("has routers");
+    let variant = system.with_router_buffer_depth(router, 50);
+    let rebased = ctx.rebase(&variant).unwrap();
+    let direct = BufferAware.analyze(&variant).unwrap();
+    let shared = BufferAware.analyze_with(&rebased).unwrap();
+    assert_eq!(direct, shared);
+}

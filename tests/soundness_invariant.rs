@@ -22,10 +22,10 @@ struct Scenario {
 
 fn scenarios() -> Vec<Scenario> {
     let mut out = Vec::new();
-    // Buffer depths start at 2: Eq. 1's zero-load latency (and hence every
-    // analytical bound built on it) assumes buffers deep enough to stream,
-    // which the simulator only achieves with buf(Ξ) ≥ 2 (see noc-sim's
-    // fidelity notes). Depth 1 is exercised analytically below.
+    // Buffer depths start at 2 — the simulator-fidelity precondition
+    // buf(Ξ) ≥ 2 documented on noc_model::config::NocConfigBuilder::
+    // buffer_depth and in the noc-sim crate docs. Depth 1 is exercised
+    // analytically below.
     for (seed, mesh, n_flows, buffer) in [
         (11u64, 3u16, 6usize, 2u32),
         (12, 3, 8, 2),
