@@ -1,6 +1,5 @@
-//! Bench X4: simulator throughput (simulated cycles per wall-clock second)
-//! on the didactic system, a dense 4×4 workload, and the production-scale
-//! 16×16 / 2000-flow fixture.
+//! Bench X7: batched offset sweeps over a shared `SimLayout`
+//! (`BatchSimulator`) against building one `Simulator` per candidate plan.
 //!
 //! The bodies live in [`noc_bench::suites`] so the `bench_json` binary
 //! measures exactly what `cargo bench` runs.
@@ -8,13 +7,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_bench::suites;
 
-fn throughput(c: &mut Criterion) {
-    suites::bench_sim_throughput(c, &suites::sim_fixtures(true));
+fn batch_sweep(c: &mut Criterion) {
+    suites::bench_batch_sweep(c);
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = throughput
+    targets = batch_sweep
 }
 criterion_main!(benches);

@@ -1,11 +1,14 @@
-//! Bench T1/T2: regenerates Tables I and II (reduced offset sweep) and
-//! measures the cost of each analysis and of one didactic simulation run.
+//! Bench T1/T2: regenerates Tables I and II (reduced offset sweep), measures
+//! the cost of each analysis, and times the full critical-instant simulation
+//! sweep behind the table's `R^sim` columns.
+//!
+//! The sweep body lives in [`noc_bench::suites`] so the `bench_json` binary
+//! measures exactly what `cargo bench` runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_analysis::prelude::*;
+use noc_bench::suites;
 use noc_experiments::table2;
-use noc_model::prelude::*;
-use noc_sim::prelude::*;
 use noc_workload::didactic;
 use std::hint::black_box;
 
@@ -22,24 +25,19 @@ fn regenerate_and_bench(c: &mut Criterion) {
     );
 
     let system = didactic::system(10);
-    let mut group = c.benchmark_group("table2");
-    group.bench_function("analysis/SB", |b| {
+    let mut group = c.benchmark_group("table2_analysis");
+    group.bench_function("SB", |b| {
         b.iter(|| ShiBurns.analyze(black_box(&system)).unwrap())
     });
-    group.bench_function("analysis/XLWX", |b| {
+    group.bench_function("XLWX", |b| {
         b.iter(|| Xlwx.analyze(black_box(&system)).unwrap())
     });
-    group.bench_function("analysis/IBN", |b| {
+    group.bench_function("IBN", |b| {
         b.iter(|| BufferAware.analyze(black_box(&system)).unwrap())
     });
-    group.bench_function("simulation/18k-cycles", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&system, ReleasePlan::synchronous(&system));
-            sim.run_until(Cycles::new(18_000));
-            black_box(sim.flow_stats(FlowId::new(2)).worst_latency())
-        })
-    });
     group.finish();
+
+    suites::bench_table2_sweep(c);
 }
 
 criterion_group! {

@@ -1,0 +1,178 @@
+//! Bench-to-JSON binary: runs the `sim_throughput`, `table2` and
+//! `context_reuse` fixtures through the shared [`noc_bench::suites`] bodies
+//! and writes a machine-readable `BENCH_sim.json`, so performance claims in
+//! this repo always come with checked-in numbers.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin bench_json                    # BENCH_sim.json
+//! cargo run --release -p noc-bench --bin bench_json -- --write-baseline # BENCH_baseline.json
+//! ```
+//!
+//! Environment:
+//!
+//! * `NOC_BENCH_FAST=1` — skip the production-scale 16×16 fixtures (CI mode).
+//! * `NOC_BENCH_OUT=path` — override the output path.
+//!
+//! Each measured fixture becomes one line in the output's `results` array:
+//! fixture label, cycles simulated per iteration (0 for the analysis-side
+//! `context_reuse` group), mean wall-clock nanoseconds per iteration, and
+//! the speedup relative to the checked-in `BENCH_baseline.json` (null when
+//! the baseline lacks the fixture). The writer and the baseline reader are
+//! deliberately ad-hoc line-oriented JSON so the repo needs no serde.
+
+use criterion::{Criterion, Measurement};
+use noc_bench::suites;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Schema tag written to (and expected in) the JSON output.
+const SCHEMA: &str = "noc-bench/sim/v1";
+
+fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let fast = std::env::var("NOC_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let production = !fast;
+
+    let out_path = std::env::var("NOC_BENCH_OUT").unwrap_or_else(|_| {
+        if write_baseline {
+            "BENCH_baseline.json".to_string()
+        } else {
+            "BENCH_sim.json".to_string()
+        }
+    });
+
+    let baseline = if write_baseline {
+        BTreeMap::new()
+    } else {
+        read_baseline("BENCH_baseline.json")
+    };
+
+    // Collect every measurement the shim emits while the bench bodies run.
+    let collected: Rc<RefCell<Vec<Measurement>>> = Rc::new(RefCell::new(Vec::new()));
+    let tap = Rc::clone(&collected);
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .with_measurement_sink(Box::new(move |m| tap.borrow_mut().push(m)));
+
+    let sim_fixtures = suites::sim_fixtures(production);
+    suites::bench_sim_throughput(&mut c, &sim_fixtures);
+    suites::bench_table2_sweep(&mut c);
+    suites::bench_batch_sweep(&mut c);
+    suites::bench_context_reuse(&mut c, &suites::context_fixtures(production));
+
+    // Cycles simulated per iteration, by bench label. Analysis-side groups
+    // (context_reuse) simulate nothing and report 0.
+    let mut cycles: BTreeMap<String, u64> = BTreeMap::new();
+    for f in &sim_fixtures {
+        cycles.insert(format!("sim_throughput/{}", f.name), f.cycles);
+    }
+    cycles.insert(
+        suites::TABLE2_SWEEP_LABEL.to_string(),
+        suites::table2_sweep_cycles(),
+    );
+    // One buffer depth's worth of the table2 sweep per iteration.
+    for label in [
+        "batch_sweep/didactic/per-plan-simulators",
+        "batch_sweep/didactic/batch-shared-layout",
+    ] {
+        cycles.insert(label.to_string(), suites::table2_sweep_cycles() / 2);
+    }
+
+    let mut lines = Vec::new();
+    for m in collected.borrow().iter() {
+        let cyc = cycles.get(&m.label).copied().unwrap_or(0);
+        let speedup = baseline
+            .get(&m.label)
+            .map(|base_ns| base_ns / m.mean_ns)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        lines.push(format!(
+            "    {{\"fixture\": {}, \"cycles\": {}, \"wall_ns\": {:.0}, \"speedup_vs_baseline\": {}}}",
+            json_string(&m.label),
+            cyc,
+            m.mean_ns,
+            speedup
+        ));
+    }
+
+    let body = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        if write_baseline {
+            "baseline"
+        } else {
+            "measurement"
+        },
+        lines.join(",\n")
+    );
+    std::fs::write(&out_path, &body).expect("write bench json");
+    println!("\nwrote {} ({} results)", out_path, lines.len());
+    if !write_baseline && baseline.is_empty() {
+        eprintln!("warning: no BENCH_baseline.json found; speedups are null");
+    }
+}
+
+/// Minimal JSON string escaping (labels only contain benign characters, but
+/// be correct anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse `fixture` → `wall_ns` pairs out of a previous run's output.
+///
+/// The writer emits exactly one result object per line, so a line-oriented
+/// scan is lossless for files this tool wrote itself.
+fn read_baseline(path: &str) -> BTreeMap<String, f64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let Some(fixture) = field_str(line, "fixture") else {
+            continue;
+        };
+        let Some(wall_ns) = field_num(line, "wall_ns") else {
+            continue;
+        };
+        map.insert(fixture, wall_ns);
+    }
+    map
+}
+
+/// Extract a `"key": "value"` string field from a single JSON line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract a `"key": number` field from a single JSON line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -21,6 +21,8 @@
 use noc_model::prelude::*;
 use noc_workload::synthetic::SyntheticSpec;
 
+pub mod suites;
+
 /// A deterministic synthetic system for performance measurements.
 pub fn bench_system(mesh: u16, n_flows: usize, buffer: u32, seed: u64) -> System {
     SyntheticSpec::paper(mesh, mesh, n_flows, buffer)

@@ -1,0 +1,108 @@
+//! Batched simulation over a shared layout.
+
+use std::sync::Arc;
+
+use noc_model::system::System;
+use noc_model::time::Cycles;
+
+use crate::core::engine::SimCore;
+use crate::core::layout::SimLayout;
+use crate::release::ReleasePlan;
+use crate::stats::FlowStats;
+
+/// Runs many [`ReleasePlan`]s over one shared [`SimLayout`], reusing a
+/// single state allocation.
+///
+/// This is the kernel behind the offset sweeps: `search::search_worst_case`
+/// (and through it `offset_sweep` / `critical_offset_sweep` and the
+/// `table2` experiment) runs every candidate plan through one
+/// `BatchSimulator` instead of building a fresh
+/// [`Simulator`](crate::Simulator) per plan. Runs use the same
+/// event-skipping kernel as [`Simulator::run_until`], so mostly-idle
+/// horizons cost what their events cost, not their cycle count.
+///
+/// [`Simulator::run_until`]: crate::Simulator::run_until
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::prelude::*;
+/// # use noc_sim::prelude::*;
+/// # let topology = Topology::mesh(2, 1);
+/// # let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+/// #     .priority(Priority::new(1)).period(Cycles::new(100)).length_flits(4).build()])?;
+/// # let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
+/// let mut batch = BatchSimulator::new(&system);
+/// let mut worst = Cycles::ZERO;
+/// for plan in critical_offset_sweep(&system, FlowId::new(0), Cycles::new(100)) {
+///     let stats = batch.run(&plan, Cycles::new(1_000));
+///     if let Some(w) = stats[0].worst_latency() {
+///         worst = worst.max(w);
+///     }
+/// }
+/// assert_eq!(worst, system.zero_load_latency(FlowId::new(0)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchSimulator<'a> {
+    system: &'a System,
+    layout: Arc<SimLayout>,
+    core: SimCore,
+}
+
+impl<'a> BatchSimulator<'a> {
+    /// Builds the layout for `system` and an empty reusable core.
+    pub fn new(system: &'a System) -> BatchSimulator<'a> {
+        BatchSimulator::with_layout(system, Arc::new(SimLayout::new(system)))
+    }
+
+    /// Reuses an existing `layout` of `system` (e.g. one taken from a
+    /// [`Simulator`](crate::Simulator) via
+    /// [`Simulator::layout`](crate::Simulator::layout)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` was built for a different number of flows.
+    pub fn with_layout(system: &'a System, layout: Arc<SimLayout>) -> BatchSimulator<'a> {
+        assert_eq!(
+            layout.flow_count(),
+            system.flows().len(),
+            "layout does not match the system's flow count"
+        );
+        let plan = ReleasePlan::synchronous(system);
+        let core = SimCore::new(&layout, system, &plan);
+        BatchSimulator {
+            system,
+            layout,
+            core,
+        }
+    }
+
+    /// The shared layout.
+    pub fn layout(&self) -> &Arc<SimLayout> {
+        &self.layout
+    }
+
+    /// Simulates `plan` until `horizon` (exclusive) with event skipping and
+    /// returns the per-flow statistics of the run, indexed by `FlowId`.
+    ///
+    /// The returned slice borrows state that the next `run` overwrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was built for a different number of flows.
+    pub fn run(&mut self, plan: &ReleasePlan, horizon: Cycles) -> &[FlowStats] {
+        assert_eq!(
+            plan.len(),
+            self.system.flows().len(),
+            "release plan does not match the system's flow count"
+        );
+        self.core.reset(&self.layout, self.system, plan);
+        let deadline = horizon.as_u64();
+        while self.core.now < deadline {
+            self.core.step(&self.layout, self.system, plan);
+            self.core.skip_idle_gap(deadline);
+        }
+        self.core.stats()
+    }
+}

@@ -1,0 +1,587 @@
+//! The struct-of-arrays simulation kernel.
+//!
+//! [`SimCore`] holds all mutable run state in flat arrays indexed by the
+//! dense ids of a [`SimLayout`] and advances it one flit-clock cycle per
+//! [`SimCore::step`]. The phase order within a cycle is exactly the
+//! pre-refactor engine's — release, routing completion, arbitration, link
+//! advance, credit return — so observable behaviour (stats and traces) is
+//! bit-identical; `tests/engine_equivalence.rs` pins that against an
+//! embedded copy of the old engine.
+//!
+//! # Event-driven bookkeeping
+//!
+//! Instead of scanning every source, VC and link each cycle, the kernel
+//! tracks:
+//!
+//! * a **release heap** with one entry per flow (the nominal time of its
+//!   next undelivered release; chains of late packets drain in nominal-time
+//!   order, which provably reproduces the old flow-major release order);
+//! * a **routing-ready heap** of `(cycle, vc)` events — a header that
+//!   becomes the head of a VC during cycle `t` is eligible for arbitration
+//!   at `t + 1 + routl`, covering both the deposit-into-empty-VC and the
+//!   tail-pop-exposes-next-header cases;
+//! * an **armed set** of links that may be able to launch (sorted, so
+//!   arbitration and its trace events keep the old link-index order). Links
+//!   are armed by releases, routing completions, body deposits into empty
+//!   VCs and credit returns, and disarmed when a scan finds no launchable
+//!   candidate — a link blocked only on credit is re-armed by the return.
+//! * a **busy set** of links with a flit in flight.
+//!
+//! # Buffers as cursors
+//!
+//! A VC only ever holds flits of its own flow (priorities are globally
+//! unique), and those flits arrive in stream order — packet `k` flits
+//! `0..len`, then packet `k+1`. A FIFO of [`Flit`]s therefore collapses to
+//! two integers (head position in the flow's flit stream, length), and the
+//! source queues collapse to released/injected cursors; `Flit` values are
+//! materialised only for traces.
+//!
+//! # Quiescent-cycle skipping
+//!
+//! After a cycle in which nothing happened (`changed == false`) the network
+//! is frozen: no link is busy and no event is due, so the only future state
+//! changes come from the two heaps. [`SimCore::skip_idle_gap`] jumps `now`
+//! to the earlier of the two heads (clamped to the caller's limit) without
+//! crossing it — the skip invariant: a skip never jumps over a release,
+//! routing completion, launch or delivery.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use noc_model::ids::{FlowId, LinkId};
+use noc_model::system::System;
+use noc_model::time::Cycles;
+
+use crate::core::layout::{Candidate, Feeder, SimLayout, EJECT};
+use crate::flit::Flit;
+use crate::release::ReleasePlan;
+use crate::stats::FlowStats;
+use crate::trace::TraceEvent;
+
+/// Marks an idle link in [`SimCore::link_flow`].
+const IDLE: u32 = u32::MAX;
+
+/// A set of link ids as a bitmask, iterated in ascending order.
+///
+/// Arbitration arms and disarms links thousands of times per cycle on
+/// saturated meshes; these must be branch-free O(1) word operations (a
+/// tree-based set here dominates the whole simulation's profile). Ascending
+/// iteration comes free from bit scanning, which keeps trace events in the
+/// old engine's link-index order.
+#[derive(Debug, Clone)]
+struct LinkSet {
+    words: Vec<u64>,
+}
+
+impl LinkSet {
+    fn new(n_links: usize) -> LinkSet {
+        LinkSet {
+            words: vec![0; n_links.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, link: u32) {
+        self.words[(link >> 6) as usize] |= 1u64 << (link & 63);
+    }
+
+    #[inline]
+    fn remove(&mut self, link: u32) {
+        self.words[(link >> 6) as usize] &= !(1u64 << (link & 63));
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Overwrites `self` with `other`'s contents (snapshot before a loop
+    /// that mutates `other`).
+    fn copy_from(&mut self, other: &LinkSet) {
+        self.words.copy_from_slice(&other.words);
+    }
+}
+
+/// Mutable simulation state over a shared [`SimLayout`].
+///
+/// All per-step methods take the layout, system and plan by reference so a
+/// single core allocation can be [`reset`](SimCore::reset) and reused across
+/// runs (the batch path).
+#[derive(Debug)]
+pub(crate) struct SimCore {
+    pub(crate) now: u64,
+    /// `false` after a cycle in which no state changed (skip is safe).
+    changed: bool,
+    /// Flits released but not yet ejected; `0` ⇔ the network is quiescent.
+    live_flits: u64,
+
+    // Sources (cursors into each flow's flit stream).
+    /// Flits released so far (stream end), per flow.
+    src_released: Vec<u64>,
+    /// Flits injected so far (stream position of the next flit), per flow.
+    src_injected: Vec<u64>,
+    /// Index within its packet of the next flit to inject, per flow
+    /// (`src_injected % flow_len`, kept incrementally — divisions in the
+    /// per-flit hot path are measurable).
+    src_idx: Vec<u32>,
+    /// Next packet number to release, per flow.
+    src_next_packet: Vec<u64>,
+    /// Nominal release time of packet `k`, per flow, indexed by `k`
+    /// (packets release and deliver in order, so a flat `Vec` replaces the
+    /// old per-packet `HashMap`).
+    rel_times: Vec<Vec<u64>>,
+
+    // Virtual channels.
+    /// Stream position of the head flit (valid when `vc_len > 0`).
+    vc_head: Vec<u64>,
+    /// Index within its packet of the head flit (`vc_head % flow_len`,
+    /// kept incrementally; valid when `vc_len > 0`).
+    vc_head_idx: Vec<u32>,
+    /// Buffered flits.
+    vc_len: Vec<u32>,
+    /// Head packet's header has completed routing.
+    vc_routed: Vec<bool>,
+    /// Free downstream slots of the VC — gates launches on its `in_link`.
+    vc_credits: Vec<u32>,
+
+    // Links.
+    /// Flow of the in-flight flit, or [`IDLE`].
+    link_flow: Vec<u32>,
+    /// Stream position of the in-flight flit.
+    link_pos: Vec<u64>,
+    /// Index within its packet of the in-flight flit.
+    link_idx: Vec<u32>,
+    /// Cycles left on the link.
+    link_remaining: Vec<u64>,
+    /// Destination VC (or [`EJECT`]) of the in-flight flit.
+    link_dest: Vec<u32>,
+    /// Links with a flit in flight, iterated in link-index order.
+    busy: LinkSet,
+    /// Links that may be able to launch, iterated in link-index order.
+    armed: LinkSet,
+
+    // Event queues.
+    /// `(nominal release time, flow)` of each flow's next release.
+    release_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// `(cycle, vc)` routing completions.
+    ready_heap: BinaryHeap<Reverse<(u64, u32)>>,
+
+    // Outputs.
+    stats: Vec<FlowStats>,
+    link_flits: Vec<u64>,
+    trace: Option<Vec<TraceEvent>>,
+
+    /// Credits freed this cycle, applied at the cycle boundary.
+    credit_returns: Vec<u32>,
+    /// Snapshot buffer for iterating `armed`/`busy` while mutating them.
+    scratch: LinkSet,
+}
+
+impl SimCore {
+    /// Fresh state for `layout`, with every release of `plan` seeded.
+    pub(crate) fn new(layout: &SimLayout, system: &System, plan: &ReleasePlan) -> SimCore {
+        let n_flows = layout.flow_count();
+        let n_vcs = layout.vc_count();
+        let mut core = SimCore {
+            now: 0,
+            changed: false,
+            live_flits: 0,
+            src_released: vec![0; n_flows],
+            src_injected: vec![0; n_flows],
+            src_idx: vec![0; n_flows],
+            src_next_packet: vec![0; n_flows],
+            rel_times: vec![Vec::new(); n_flows],
+            vc_head: vec![0; n_vcs],
+            vc_head_idx: vec![0; n_vcs],
+            vc_len: vec![0; n_vcs],
+            vc_routed: vec![false; n_vcs],
+            vc_credits: layout.vc_cap.clone(),
+            link_flow: vec![IDLE; layout.n_links],
+            link_pos: vec![0; layout.n_links],
+            link_idx: vec![0; layout.n_links],
+            link_remaining: vec![0; layout.n_links],
+            link_dest: vec![EJECT; layout.n_links],
+            busy: LinkSet::new(layout.n_links),
+            armed: LinkSet::new(layout.n_links),
+            release_heap: BinaryHeap::with_capacity(n_flows),
+            ready_heap: BinaryHeap::new(),
+            stats: vec![FlowStats::default(); n_flows],
+            link_flits: vec![0; layout.n_links],
+            trace: None,
+            credit_returns: Vec::new(),
+            scratch: LinkSet::new(layout.n_links),
+        };
+        core.seed_releases(system, plan);
+        core
+    }
+
+    /// Rewinds the core to cycle zero for a new run over the same layout,
+    /// keeping every allocation.
+    pub(crate) fn reset(&mut self, layout: &SimLayout, system: &System, plan: &ReleasePlan) {
+        self.now = 0;
+        self.changed = false;
+        self.live_flits = 0;
+        self.src_released.fill(0);
+        self.src_injected.fill(0);
+        self.src_idx.fill(0);
+        self.src_next_packet.fill(0);
+        for v in &mut self.rel_times {
+            v.clear();
+        }
+        self.vc_head.fill(0);
+        self.vc_head_idx.fill(0);
+        self.vc_len.fill(0);
+        self.vc_routed.fill(false);
+        self.vc_credits.copy_from_slice(&layout.vc_cap);
+        self.link_flow.fill(IDLE);
+        self.busy.clear();
+        self.armed.clear();
+        self.release_heap.clear();
+        self.ready_heap.clear();
+        for s in &mut self.stats {
+            s.reset();
+        }
+        self.link_flits.fill(0);
+        if let Some(tr) = &mut self.trace {
+            tr.clear();
+        }
+        self.credit_returns.clear();
+        self.seed_releases(system, plan);
+    }
+
+    fn seed_releases(&mut self, system: &System, plan: &ReleasePlan) {
+        for f in 0..self.src_released.len() {
+            let flow = FlowId::new(f as u32);
+            if let Some(t) = plan.release_time(system, flow, 0) {
+                self.release_heap.push(Reverse((t.as_u64(), f as u32)));
+            }
+        }
+    }
+
+    pub(crate) fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    pub(crate) fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    pub(crate) fn stats(&self) -> &[FlowStats] {
+        &self.stats
+    }
+
+    pub(crate) fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    /// Buffered flits in `vc`.
+    pub(crate) fn vc_occupancy(&self, vc: u32) -> usize {
+        self.vc_len[vc as usize] as usize
+    }
+
+    /// `true` when nothing is queued, buffered or in flight — O(1), by
+    /// conservation: every released flit is in exactly one of a source
+    /// queue, a VC buffer or a link until it ejects.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.live_flits == 0
+    }
+
+    /// Advances one flit-clock cycle.
+    pub(crate) fn step(&mut self, layout: &SimLayout, system: &System, plan: &ReleasePlan) {
+        self.changed = false;
+        self.release_due(layout, system, plan);
+        self.fire_ready(layout);
+        self.arbitrate(layout);
+        self.advance_links(layout);
+        self.apply_credit_returns(layout);
+        self.now += 1;
+    }
+
+    /// If the last [`step`](SimCore::step) changed nothing, jumps `now`
+    /// forward to the next pending event (release or routing completion),
+    /// clamped to `limit`. A no-change cycle implies no link is busy and no
+    /// launch is possible, so the jump crosses no observable event.
+    pub(crate) fn skip_idle_gap(&mut self, limit: u64) {
+        if self.changed || self.now >= limit {
+            return;
+        }
+        let next_release = self.release_heap.peek().map(|&Reverse((t, _))| t);
+        let next_ready = self.ready_heap.peek().map(|&Reverse((t, _))| t);
+        let next = match (next_release, next_ready) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => limit,
+        };
+        if next > self.now {
+            self.now = next.min(limit);
+        }
+    }
+
+    /// Phase 1: move due packets into their source queues, in nominal-time
+    /// then flow order (equal to the old engine's flow-major drain).
+    fn release_due(&mut self, layout: &SimLayout, system: &System, plan: &ReleasePlan) {
+        while let Some(&Reverse((t, f))) = self.release_heap.peek() {
+            if t > self.now {
+                break;
+            }
+            self.release_heap.pop();
+            let fi = f as usize;
+            let flow = FlowId::new(f);
+            let packet = self.src_next_packet[fi];
+            let len = u64::from(layout.flow_len[fi]);
+            self.src_released[fi] += len;
+            self.live_flits += len;
+            self.rel_times[fi].push(t);
+            self.src_next_packet[fi] = packet + 1;
+            if let Some(next) = plan.release_time(system, flow, packet + 1) {
+                self.release_heap.push(Reverse((next.as_u64(), f)));
+            }
+            self.armed.insert(layout.flow_first_link[fi]);
+            self.changed = true;
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::PacketReleased {
+                    cycle: Cycles::new(self.now),
+                    flow,
+                    packet,
+                });
+            }
+        }
+    }
+
+    /// Phase 2: complete due routing decisions; the header at the VC head
+    /// becomes eligible for arbitration this cycle.
+    fn fire_ready(&mut self, layout: &SimLayout) {
+        while let Some(&Reverse((t, vc))) = self.ready_heap.peek() {
+            if t > self.now {
+                break;
+            }
+            self.ready_heap.pop();
+            debug_assert!(self.vc_len[vc as usize] > 0, "routed header left its VC");
+            self.vc_routed[vc as usize] = true;
+            self.armed.insert(layout.vc_out_link[vc as usize]);
+            self.changed = true;
+        }
+    }
+
+    /// Can this candidate launch now? Returns the flow and stream position
+    /// of the flit it would send.
+    fn candidate_ready(&self, layout: &SimLayout, cand: Candidate) -> Option<(u32, u64)> {
+        let (flow, pos) = match cand.feeder {
+            Feeder::Source(f) => {
+                let fi = f as usize;
+                if self.src_injected[fi] >= self.src_released[fi] {
+                    return None;
+                }
+                (f, self.src_injected[fi])
+            }
+            Feeder::Vc(v) => {
+                let vi = v as usize;
+                if self.vc_len[vi] == 0 {
+                    return None;
+                }
+                if self.vc_head_idx[vi] == 0 && !self.vc_routed[vi] {
+                    return None; // header not yet routed
+                }
+                (layout.vc_flow[vi], self.vc_head[vi])
+            }
+        };
+        if cand.dest != EJECT && self.vc_credits[cand.dest as usize] == 0 {
+            return None; // blocked: no downstream buffer space
+        }
+        Some((flow, pos))
+    }
+
+    /// Phase 3: for every armed free link, launch the highest-priority
+    /// launchable candidate.
+    fn arbitrate(&mut self, layout: &SimLayout) {
+        self.scratch.copy_from(&self.armed);
+        for w in 0..self.scratch.words.len() {
+            let mut bits = self.scratch.words[w];
+            while bits != 0 {
+                let link = ((w as u32) << 6) | bits.trailing_zeros();
+                bits &= bits - 1;
+                self.arbitrate_link(layout, link);
+            }
+        }
+    }
+
+    /// Arbitration for one armed link.
+    fn arbitrate_link(&mut self, layout: &SimLayout, link: u32) {
+        let li = link as usize;
+        if self.link_flow[li] != IDLE {
+            return; // mid-transmission (linkl > 1); stays armed
+        }
+        let mut winner = None;
+        for &cand in layout.candidates(li) {
+            if let Some(ready) = self.candidate_ready(layout, cand) {
+                winner = Some((cand, ready));
+                break; // candidates are sorted by priority
+            }
+        }
+        let Some((cand, (flow, pos))) = winner else {
+            // Nothing launchable: disarm. Whatever could change that —
+            // a release, a routing completion, a deposit, a credit
+            // return — re-arms the link.
+            self.armed.remove(link);
+            return;
+        };
+        let fi = flow as usize;
+        let len = layout.flow_len[fi];
+        let idx = match cand.feeder {
+            Feeder::Source(_) => self.src_idx[fi],
+            Feeder::Vc(v) => self.vc_head_idx[v as usize],
+        };
+        debug_assert_eq!(u64::from(idx), pos % u64::from(len), "flit index drift");
+        let is_tail = idx + 1 == len;
+        match cand.feeder {
+            Feeder::Source(_) => {
+                self.src_injected[fi] += 1;
+                self.src_idx[fi] = if is_tail { 0 } else { idx + 1 };
+            }
+            Feeder::Vc(v) => {
+                let vi = v as usize;
+                self.vc_head[vi] = pos + 1;
+                self.vc_head_idx[vi] = if is_tail { 0 } else { idx + 1 };
+                self.vc_len[vi] -= 1;
+                if is_tail {
+                    // Tail left: the wormhole path is released and the
+                    // next packet's header (if buffered) starts routing.
+                    self.vc_routed[vi] = false;
+                    if self.vc_len[vi] > 0 {
+                        self.ready_heap
+                            .push(Reverse((self.now + 1 + layout.routl, v)));
+                    }
+                }
+                // The freed slot becomes a credit for the upstream
+                // sender at the next cycle boundary.
+                self.credit_returns.push(v);
+            }
+        }
+        if cand.dest != EJECT {
+            let c = &mut self.vc_credits[cand.dest as usize];
+            debug_assert!(*c > 0);
+            *c -= 1;
+        }
+        self.link_flow[li] = flow;
+        self.link_pos[li] = pos;
+        self.link_idx[li] = idx;
+        self.link_remaining[li] = layout.linkl;
+        self.link_dest[li] = cand.dest;
+        self.busy.insert(link);
+        self.link_flits[li] += 1;
+        self.changed = true;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::FlitLaunched {
+                cycle: Cycles::new(self.now),
+                link: LinkId::new(link),
+                flit: flit_at(flow, pos, len),
+            });
+        }
+    }
+
+    /// Phase 4: advance in-flight flits; deposit or eject the ones whose
+    /// link traversal completes.
+    fn advance_links(&mut self, layout: &SimLayout) {
+        self.scratch.copy_from(&self.busy);
+        for w in 0..self.scratch.words.len() {
+            let mut bits = self.scratch.words[w];
+            while bits != 0 {
+                let link = ((w as u32) << 6) | bits.trailing_zeros();
+                bits &= bits - 1;
+                self.advance_link(layout, link);
+            }
+        }
+    }
+
+    /// Advances the in-flight flit of one busy link.
+    fn advance_link(&mut self, layout: &SimLayout, link: u32) {
+        let li = link as usize;
+        self.changed = true;
+        self.link_remaining[li] -= 1;
+        if self.link_remaining[li] > 0 {
+            return;
+        }
+        self.busy.remove(link);
+        let flow = self.link_flow[li];
+        let pos = self.link_pos[li];
+        let idx = self.link_idx[li];
+        let dest = self.link_dest[li];
+        self.link_flow[li] = IDLE;
+        let fi = flow as usize;
+        let len = layout.flow_len[fi];
+        if dest == EJECT {
+            self.live_flits -= 1;
+            if idx + 1 == len {
+                // Tail arrived: the packet is delivered at the start of
+                // the next cycle.
+                let arrival = self.now + 1;
+                let packet = pos / u64::from(len);
+                let released = self.rel_times[fi][packet as usize];
+                let latency = Cycles::new(arrival - released);
+                self.stats[fi].record(latency);
+                if let Some(tr) = &mut self.trace {
+                    tr.push(TraceEvent::PacketDelivered {
+                        cycle: Cycles::new(arrival),
+                        flow: FlowId::new(flow),
+                        packet,
+                        latency,
+                    });
+                }
+            }
+        } else {
+            let vi = dest as usize;
+            assert!(
+                self.vc_len[vi] < layout.vc_cap[vi],
+                "credit discipline violated: buffer overflow on {}",
+                LinkId::new(link)
+            );
+            if self.vc_len[vi] == 0 {
+                self.vc_head[vi] = pos;
+                self.vc_head_idx[vi] = idx;
+                if idx == 0 {
+                    // A header at the head of an empty VC: routing
+                    // starts next cycle.
+                    debug_assert!(!self.vc_routed[vi]);
+                    self.ready_heap
+                        .push(Reverse((self.now + 1 + layout.routl, dest)));
+                } else {
+                    // A body catching up with its wormhole: available
+                    // as soon as arbitration next looks.
+                    self.armed.insert(layout.vc_out_link[vi]);
+                }
+            } else {
+                debug_assert_eq!(
+                    self.vc_head[vi] + u64::from(self.vc_len[vi]),
+                    pos,
+                    "VC stream out of order"
+                );
+            }
+            self.vc_len[vi] += 1;
+        }
+    }
+
+    /// Phase 5: credits freed this cycle become visible upstream.
+    fn apply_credit_returns(&mut self, layout: &SimLayout) {
+        while let Some(v) = self.credit_returns.pop() {
+            let vi = v as usize;
+            self.vc_credits[vi] += 1;
+            debug_assert!(self.vc_credits[vi] <= layout.vc_cap[vi]);
+            // The credit may unblock a candidate on the VC's input link.
+            self.armed.insert(layout.vc_in_link[vi]);
+            self.changed = true;
+        }
+    }
+}
+
+/// Materialises the flit at stream position `pos` of a flow with `len`-flit
+/// packets (only needed for traces).
+fn flit_at(flow: u32, pos: u64, len: u32) -> Flit {
+    Flit::new(
+        FlowId::new(flow),
+        pos / u64::from(len),
+        (pos % u64::from(len)) as u32,
+        len,
+    )
+}

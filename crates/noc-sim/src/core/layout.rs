@@ -1,0 +1,266 @@
+//! The immutable, precomputed simulation layout.
+//!
+//! Everything about a [`System`] that the simulation kernel needs per cycle
+//! is flattened here once — dense VC ids, per-link candidate lists sorted by
+//! priority, injection/ejection wiring — so that many runs (an offset sweep,
+//! a jitter study) share one layout and the hot loop never touches a
+//! `HashMap` or chases a route.
+
+use std::collections::HashMap;
+
+use noc_model::ids::LinkId;
+use noc_model::system::System;
+
+/// Sentinel "destination VC" meaning the flit leaves the network (its link
+/// ends at the destination node, so no credit is needed).
+pub(crate) const EJECT: u32 = u32::MAX;
+
+/// Who may feed a link, with its precomputed downstream destination.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    /// The feeder: a source queue or an input VC.
+    pub feeder: Feeder,
+    /// Dense id of the VC the launched flit lands in, or [`EJECT`].
+    ///
+    /// Priorities are globally unique (enforced by `FlowSet::new`), so a
+    /// `(link, priority)` pair identifies exactly one downstream VC and the
+    /// old per-`(link, priority)` credit map collapses onto `dest`.
+    pub dest: u32,
+}
+
+/// The two kinds of arbitration candidates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Feeder {
+    /// The source queue of the flow with this dense index.
+    Source(u32),
+    /// The input VC with this dense index.
+    Vc(u32),
+}
+
+/// Immutable struct-of-arrays description of a [`System`] for simulation.
+///
+/// Built once by [`SimLayout::new`] and shared (via `Arc`) by every
+/// [`Simulator`](crate::Simulator) or
+/// [`BatchSimulator`](crate::core::BatchSimulator) run over the same system
+/// — layout construction walks every route, the runs only index arrays.
+///
+/// Dense id spaces:
+///
+/// * **flows** — `FlowId::index()`, as in the rest of the workspace;
+/// * **links** — `LinkId::index()`;
+/// * **VCs** — one per (flow, intermediate router) in flow-major route
+///   order, so a flow's VCs are contiguous and its wormhole successor is
+///   `vc + 1`.
+#[derive(Debug)]
+pub struct SimLayout {
+    /// Number of links in the topology.
+    pub(crate) n_links: usize,
+    /// Link traversal latency (`linkl`).
+    pub(crate) linkl: u64,
+    /// Routing latency (`routl`).
+    pub(crate) routl: u64,
+
+    /// Flits per packet, per flow.
+    pub(crate) flow_len: Vec<u32>,
+    /// First (injection) link of each flow's route.
+    pub(crate) flow_first_link: Vec<u32>,
+
+    /// Input link feeding each VC (credits freed by the VC return here).
+    pub(crate) vc_in_link: Vec<u32>,
+    /// Output link each VC drains into.
+    pub(crate) vc_out_link: Vec<u32>,
+    /// Buffer capacity of each VC, in flits.
+    pub(crate) vc_cap: Vec<u32>,
+    /// The flow owning each VC (unique: one priority level per flow).
+    pub(crate) vc_flow: Vec<u32>,
+
+    /// CSR offsets into [`SimLayout::cands`], one slice per link.
+    pub(crate) cand_offset: Vec<u32>,
+    /// Per-link candidate feeders, highest priority (smallest level) first.
+    pub(crate) cands: Vec<Candidate>,
+
+    /// Cold-path lookup for [`Simulator::vc_occupancy`]:
+    /// `(in_link, priority level)` → dense VC id.
+    ///
+    /// [`Simulator::vc_occupancy`]: crate::Simulator::vc_occupancy
+    pub(crate) vc_lookup: HashMap<(LinkId, u32), u32>,
+}
+
+impl SimLayout {
+    /// Precomputes the simulation layout of `system`.
+    pub fn new(system: &System) -> SimLayout {
+        let n_links = system.topology().link_count();
+        let n_flows = system.flows().len();
+
+        let mut flow_len = Vec::with_capacity(n_flows);
+        let mut flow_first_link = Vec::with_capacity(n_flows);
+        let mut vc_in_link = Vec::new();
+        let mut vc_out_link = Vec::new();
+        let mut vc_cap = Vec::new();
+        let mut vc_flow = Vec::new();
+        let mut vc_lookup = HashMap::new();
+        // (priority, candidate) per link; sorted then stripped below.
+        let mut per_link: Vec<Vec<(u32, Candidate)>> = vec![Vec::new(); n_links];
+
+        for (flow_id, flow) in system.flows().iter() {
+            let prio = flow.priority().level();
+            let links = system.route(flow_id).links();
+            let f = flow_id.index() as u32;
+            flow_len.push(flow.length_flits());
+            flow_first_link.push(links[0].index() as u32);
+            let first_vc = vc_in_link.len() as u32;
+            // One VC per intermediate router: fed by links[p], feeding
+            // links[p+1]. Routes always have ≥ 2 links (injection +
+            // ejection), so every flow owns at least one VC and the source
+            // always deposits into `first_vc`.
+            for p in 0..links.len() - 1 {
+                let vc = vc_in_link.len() as u32;
+                let capacity = system
+                    .buffer_depth_of_link(links[p])
+                    .expect("intermediate links end at routers");
+                vc_in_link.push(links[p].index() as u32);
+                vc_out_link.push(links[p + 1].index() as u32);
+                vc_cap.push(capacity);
+                vc_flow.push(f);
+                vc_lookup.insert((links[p], prio), vc);
+                // The VC feeds links[p+1]; its flits land in the next VC of
+                // the chain, or leave the network at the final link.
+                let dest = if p + 2 < links.len() { vc + 1 } else { EJECT };
+                per_link[links[p + 1].index()].push((
+                    prio,
+                    Candidate {
+                        feeder: Feeder::Vc(vc),
+                        dest,
+                    },
+                ));
+            }
+            per_link[links[0].index()].push((
+                prio,
+                Candidate {
+                    feeder: Feeder::Source(f),
+                    dest: first_vc,
+                },
+            ));
+        }
+
+        let mut cand_offset = Vec::with_capacity(n_links + 1);
+        let mut cands = Vec::new();
+        cand_offset.push(0);
+        for list in &mut per_link {
+            // Highest priority (smallest level) first; levels on one link
+            // are unique, so the order is total.
+            list.sort_by_key(|&(prio, _)| prio);
+            cands.extend(list.iter().map(|&(_, c)| c));
+            cand_offset.push(cands.len() as u32);
+        }
+
+        SimLayout {
+            n_links,
+            linkl: system.config().link_latency().as_u64(),
+            routl: system.config().routing_latency().as_u64(),
+            flow_len,
+            flow_first_link,
+            vc_in_link,
+            vc_out_link,
+            vc_cap,
+            vc_flow,
+            cand_offset,
+            cands,
+            vc_lookup,
+        }
+    }
+
+    /// Number of flows the layout was built for.
+    pub fn flow_count(&self) -> usize {
+        self.flow_len.len()
+    }
+
+    /// Number of virtual channels in the layout (one per flow per
+    /// intermediate router).
+    pub fn vc_count(&self) -> usize {
+        self.vc_in_link.len()
+    }
+
+    /// The candidate feeders of one link, highest priority first.
+    pub(crate) fn candidates(&self, link: usize) -> &[Candidate] {
+        let lo = self.cand_offset[link] as usize;
+        let hi = self.cand_offset[link + 1] as usize;
+        &self.cands[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::prelude::*;
+
+    fn two_flow_system() -> System {
+        let topology = Topology::mesh(3, 1);
+        let flows = FlowSet::new(vec![
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(1))
+                .period(Cycles::new(200))
+                .length_flits(4)
+                .build(),
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(2))
+                .period(Cycles::new(400))
+                .length_flits(8)
+                .build(),
+        ])
+        .unwrap();
+        System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn vcs_are_contiguous_per_flow_in_route_order() {
+        let sys = two_flow_system();
+        let layout = SimLayout::new(&sys);
+        assert_eq!(layout.flow_count(), 2);
+        // Route 0→2 on a 1×3 mesh: injection + 2 mesh links + ejection = 4
+        // links, 3 VCs per flow.
+        assert_eq!(layout.vc_count(), 6);
+        assert_eq!(&layout.vc_flow, &[0, 0, 0, 1, 1, 1]);
+        for f in 0..2u32 {
+            let base = (f * 3) as usize;
+            let links = sys.route(FlowId::new(f)).links();
+            for p in 0..3 {
+                assert_eq!(layout.vc_in_link[base + p], links[p].index() as u32);
+                assert_eq!(layout.vc_out_link[base + p], links[p + 1].index() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_priority_sorted_with_precomputed_dests() {
+        let sys = two_flow_system();
+        let layout = SimLayout::new(&sys);
+        // Both flows share every link; every shared link has exactly two
+        // candidates, flow 0 (priority 1) first.
+        let first = layout.flow_first_link[0] as usize;
+        let cands = layout.candidates(first);
+        assert_eq!(cands.len(), 2);
+        assert!(matches!(cands[0].feeder, Feeder::Source(0)));
+        assert!(matches!(cands[1].feeder, Feeder::Source(1)));
+        assert_eq!(cands[0].dest, 0, "source deposits into the flow's first VC");
+        assert_eq!(cands[1].dest, 3);
+        // The last VC of each chain ejects.
+        let last_vc = 2usize;
+        let eject_link = layout.vc_out_link[last_vc] as usize;
+        let ej = layout
+            .candidates(eject_link)
+            .iter()
+            .find(|c| matches!(c.feeder, Feeder::Vc(v) if v == last_vc as u32))
+            .unwrap();
+        assert_eq!(ej.dest, EJECT);
+    }
+
+    #[test]
+    fn occupancy_lookup_matches_route_wiring() {
+        let sys = two_flow_system();
+        let layout = SimLayout::new(&sys);
+        let links = sys.route(FlowId::new(1)).links();
+        assert_eq!(layout.vc_lookup[&(links[0], 2)], 3);
+        assert_eq!(layout.vc_lookup.get(&(links[0], 9)), None);
+    }
+}

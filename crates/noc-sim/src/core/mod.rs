@@ -1,0 +1,19 @@
+//! The data-oriented simulation core.
+//!
+//! Splits a simulation run into an immutable, shareable [`SimLayout`]
+//! (everything derivable from the [`System`](noc_model::system::System):
+//! dense port tables, priority-sorted per-link candidate lists, routing
+//! latencies) and the flat mutable state of `SimCore` (flit/credit/
+//! occupancy/arbiter arrays indexed by dense ids, event heaps). The public
+//! [`Simulator`](crate::Simulator) is a thin facade over one core;
+//! [`BatchSimulator`] reuses one core allocation across many release plans
+//! over the same layout.
+
+mod batch;
+mod engine;
+mod layout;
+
+pub use batch::BatchSimulator;
+pub use layout::SimLayout;
+
+pub(crate) use engine::SimCore;

@@ -1,4 +1,4 @@
-//! The cycle-accurate simulation engine.
+//! The cycle-accurate simulator facade.
 //!
 //! Models the router of Figure 1: per-priority virtual channels with private
 //! FIFO buffers of `buf(Ξ)` flits, credit-based flow control, and
@@ -7,6 +7,12 @@
 //! downstream credit; a blocked high-priority packet (no credit) lets lower
 //! priority traffic through, which is exactly the mechanism behind
 //! multi-point progressive blocking.
+//!
+//! [`Simulator`] is a facade over the data-oriented kernel in
+//! [`crate::core`]: an immutable [`SimLayout`] precomputed from the
+//! [`System`] plus flat mutable state advanced by event-driven phases. Use
+//! [`Simulator::with_layout`] (or [`crate::core::BatchSimulator`]) to share
+//! one layout across many runs.
 //!
 //! # Timing model
 //!
@@ -18,60 +24,26 @@
 //! become visible upstream at `t + 1`. With `routl = 0`, `linkl = 1` and
 //! `buf ≥ 2` an uncontended packet achieves exactly the zero-load latency
 //! of Equation 1 (asserted by this crate's tests).
+//!
+//! # Event skipping
+//!
+//! [`Simulator::run_until`] and [`Simulator::run_until_delivered`] skip
+//! stretches of idle cycles by jumping to the next pending release or
+//! routing event; a skip never crosses a release, launch or delivery, so
+//! observable behaviour (statistics, traces, `now` at the horizon) is
+//! identical to stepping every cycle ([`Simulator::step`] itself always
+//! advances exactly one cycle).
 
-use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use noc_model::ids::{FlowId, LinkId, Priority};
 use noc_model::system::System;
 use noc_model::time::Cycles;
-use noc_model::topology::Endpoint;
 
-use crate::flit::Flit;
+use crate::core::{SimCore, SimLayout};
 use crate::release::ReleasePlan;
 use crate::stats::FlowStats;
 use crate::trace::TraceEvent;
-
-/// A flit in flight on a link.
-#[derive(Debug, Clone, Copy)]
-struct InFlight {
-    flit: Flit,
-    remaining: u64,
-}
-
-/// The state of one input virtual channel at a router: the FIFO buffer fed
-/// by `in_link`, draining into the fixed `out_link` of its flow's route.
-#[derive(Debug)]
-struct VcState {
-    buffer: VecDeque<Flit>,
-    capacity: usize,
-    in_link: LinkId,
-    out_link: LinkId,
-    priority: u32,
-    /// Head packet's header has been routed.
-    routed: bool,
-    /// Cycle at which the head header's routing completes.
-    routing_ready_at: Option<u64>,
-}
-
-/// A traffic source: releases packets per the plan and queues their flits
-/// for injection.
-#[derive(Debug)]
-struct SourceState {
-    flow: FlowId,
-    next_packet: u64,
-    queue: VecDeque<Flit>,
-    /// Release times of packets not yet fully delivered.
-    release_times: HashMap<u64, u64>,
-}
-
-/// Who may feed a given link.
-#[derive(Debug, Clone, Copy)]
-enum Candidate {
-    /// The source queue of a flow whose route starts with this link.
-    Source { flow: FlowId },
-    /// A router input VC (index into `Simulator::vcs`).
-    Vc { idx: usize },
-}
 
 /// A cycle-accurate simulator for one [`System`] under one [`ReleasePlan`].
 ///
@@ -103,23 +75,8 @@ enum Candidate {
 pub struct Simulator<'a> {
     system: &'a System,
     plan: ReleasePlan,
-    now: u64,
-    linkl: u64,
-    routl: u64,
-
-    vcs: Vec<VcState>,
-    vc_index: HashMap<(LinkId, u32), usize>,
-    /// Per link: candidate feeders sorted from highest to lowest priority.
-    candidates: Vec<Vec<Candidate>>,
-    /// Per link: in-flight flit, if the link is busy.
-    links: Vec<Option<InFlight>>,
-    /// Per (router-bound link, vc): free downstream buffer slots.
-    credits: HashMap<(LinkId, u32), u32>,
-    sources: Vec<SourceState>,
-    stats: Vec<FlowStats>,
-    link_flits: Vec<u64>,
-    trace: Option<Vec<TraceEvent>>,
-    credit_returns: Vec<(LinkId, u32)>,
+    layout: Arc<SimLayout>,
+    core: SimCore,
 }
 
 impl<'a> Simulator<'a> {
@@ -129,106 +86,61 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `plan` was built for a different number of flows.
     pub fn new(system: &'a System, plan: ReleasePlan) -> Simulator<'a> {
+        Simulator::with_layout(system, Arc::new(SimLayout::new(system)), plan)
+    }
+
+    /// Builds a simulator over an existing `layout` of `system`, sharing
+    /// the precomputation across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` or `layout` was built for a different number of
+    /// flows.
+    pub fn with_layout(
+        system: &'a System,
+        layout: Arc<SimLayout>,
+        plan: ReleasePlan,
+    ) -> Simulator<'a> {
         assert_eq!(
             plan.len(),
             system.flows().len(),
             "release plan does not match the system's flow count"
         );
-        let topology = system.topology();
-        let n_links = topology.link_count();
-
-        let mut vcs: Vec<VcState> = Vec::new();
-        let mut vc_index = HashMap::new();
-        let mut candidates: Vec<Vec<Candidate>> = vec![Vec::new(); n_links];
-        let mut credits = HashMap::new();
-
-        for (flow_id, flow) in system.flows().iter() {
-            let prio = flow.priority().level();
-            let route = system.route(flow_id);
-            let links = route.links();
-            // Credits for every router-bound link of the route, sized by
-            // the (possibly per-router) buffer depth at the link's target.
-            for &l in links {
-                if let Some(depth) = system.buffer_depth_of_link(l) {
-                    credits.insert((l, prio), depth);
-                }
-            }
-            // The source feeds the first link.
-            candidates[links[0].index()].push(Candidate::Source { flow: flow_id });
-            // One VC at every intermediate router: fed by links[p], feeding
-            // links[p+1].
-            for p in 0..links.len() - 1 {
-                let idx = vcs.len();
-                let capacity = system
-                    .buffer_depth_of_link(links[p])
-                    .expect("intermediate links end at routers")
-                    as usize;
-                vcs.push(VcState {
-                    buffer: VecDeque::with_capacity(capacity),
-                    capacity,
-                    in_link: links[p],
-                    out_link: links[p + 1],
-                    priority: prio,
-                    routed: false,
-                    routing_ready_at: None,
-                });
-                vc_index.insert((links[p], prio), idx);
-                candidates[links[p + 1].index()].push(Candidate::Vc { idx });
-            }
-        }
-        // Priority order per link (highest priority = smallest level first).
-        for cand in &mut candidates {
-            cand.sort_by_key(|c| match *c {
-                Candidate::Source { flow } => system.flow(flow).priority().level(),
-                Candidate::Vc { idx } => vcs[idx].priority,
-            });
-        }
-        let sources = system
-            .flows()
-            .ids()
-            .map(|flow| SourceState {
-                flow,
-                next_packet: 0,
-                queue: VecDeque::new(),
-                release_times: HashMap::new(),
-            })
-            .collect();
+        assert_eq!(
+            layout.flow_count(),
+            system.flows().len(),
+            "layout does not match the system's flow count"
+        );
+        let core = SimCore::new(&layout, system, &plan);
         Simulator {
             system,
             plan,
-            now: 0,
-            linkl: system.config().link_latency().as_u64(),
-            routl: system.config().routing_latency().as_u64(),
-            vcs,
-            vc_index,
-            candidates,
-            links: vec![None; n_links],
-            credits,
-            sources,
-            stats: vec![FlowStats::default(); system.flows().len()],
-            link_flits: vec![0; n_links],
-            trace: None,
-            credit_returns: Vec::new(),
+            layout,
+            core,
         }
+    }
+
+    /// The shared immutable layout (pass to [`Simulator::with_layout`] or
+    /// [`crate::core::BatchSimulator::with_layout`] to reuse it).
+    pub fn layout(&self) -> &Arc<SimLayout> {
+        &self.layout
     }
 
     /// Starts recording [`TraceEvent`]s (retrievable via
     /// [`Simulator::trace`]).
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Vec::new());
-        }
+        self.core.enable_trace();
     }
 
     /// The events recorded so far (empty unless
     /// [`Simulator::enable_trace`] was called).
     pub fn trace(&self) -> &[TraceEvent] {
-        self.trace.as_deref().unwrap_or(&[])
+        self.core.trace()
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Cycles {
-        Cycles::new(self.now)
+        Cycles::new(self.core.now)
     }
 
     /// Latency statistics of one flow.
@@ -237,20 +149,21 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `flow` is out of bounds.
     pub fn flow_stats(&self, flow: FlowId) -> &FlowStats {
-        &self.stats[flow.index()]
+        &self.core.stats()[flow.index()]
     }
 
     /// Statistics of all flows, indexed by [`FlowId`].
     pub fn stats(&self) -> &[FlowStats] {
-        &self.stats
+        self.core.stats()
     }
 
     /// Number of flits currently buffered in the input VC fed by `link` at
     /// priority level `priority` (0 if that VC does not exist).
     pub fn vc_occupancy(&self, link: LinkId, priority: Priority) -> usize {
-        self.vc_index
+        self.layout
+            .vc_lookup
             .get(&(link, priority.level()))
-            .map_or(0, |&idx| self.vcs[idx].buffer.len())
+            .map_or(0, |&vc| self.core.vc_occupancy(vc))
     }
 
     /// Total flits that have started crossing `link` since the start of
@@ -260,7 +173,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `link` is out of bounds.
     pub fn link_flits(&self, link: LinkId) -> u64 {
-        self.link_flits[link.index()]
+        self.core.link_flits()[link.index()]
     }
 
     /// Fraction of elapsed cycles during which `link` was transmitting
@@ -270,17 +183,22 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `link` is out of bounds.
     pub fn link_utilisation(&self, link: LinkId) -> f64 {
-        if self.now == 0 {
+        if self.core.now == 0 {
             return 0.0;
         }
-        (self.link_flits[link.index()] * self.linkl) as f64 / self.now as f64
+        (self.core.link_flits()[link.index()] * self.layout_linkl()) as f64 / self.core.now as f64
+    }
+
+    fn layout_linkl(&self) -> u64 {
+        self.system.config().link_latency().as_u64()
     }
 
     /// The `n` busiest links by transmitted flits, descending (ties broken
     /// by link id).
     pub fn busiest_links(&self, n: usize) -> Vec<(LinkId, u64)> {
         let mut ranked: Vec<(LinkId, u64)> = self
-            .link_flits
+            .core
+            .link_flits()
             .iter()
             .enumerate()
             .map(|(i, &f)| (LinkId::new(i as u32), f))
@@ -292,227 +210,42 @@ impl<'a> Simulator<'a> {
 
     /// `true` when nothing is queued, buffered or in flight. Quiescence is
     /// permanent once every flow has exhausted its packet limit.
+    ///
+    /// O(1): the core counts live flits instead of scanning every source
+    /// queue, VC buffer and link.
     pub fn is_quiescent(&self) -> bool {
-        self.sources.iter().all(|s| s.queue.is_empty())
-            && self.vcs.iter().all(|v| v.buffer.is_empty())
-            && self.links.iter().all(Option::is_none)
+        self.core.is_quiescent()
     }
 
-    /// Advances the simulation by one cycle.
+    /// Advances the simulation by exactly one cycle (never skips).
     pub fn step(&mut self) {
-        self.release_packets();
-        self.progress_routing();
-        self.arbitrate_and_launch();
-        self.advance_links();
-        self.apply_credit_returns();
-        self.now += 1;
+        self.core.step(&self.layout, self.system, &self.plan);
     }
 
-    /// Runs until `deadline` (exclusive); completes immediately if already
-    /// past it.
+    /// Runs until `deadline` (exclusive), skipping idle stretches;
+    /// completes immediately if already past it.
     pub fn run_until(&mut self, deadline: Cycles) {
-        while self.now < deadline.as_u64() {
-            self.step();
+        let limit = deadline.as_u64();
+        while self.core.now < limit {
+            self.core.step(&self.layout, self.system, &self.plan);
+            self.core.skip_idle_gap(limit);
         }
     }
 
     /// Runs until `flow` has delivered `packets` packets, or `max` cycles
-    /// have elapsed. Returns `true` if the packet goal was reached.
+    /// have elapsed, skipping idle stretches (quiescence and pending events
+    /// come from the core's event queues, not from scans). Returns `true`
+    /// if the packet goal was reached.
     pub fn run_until_delivered(&mut self, flow: FlowId, packets: u64, max: Cycles) -> bool {
-        while self.stats[flow.index()].delivered() < packets {
-            if self.now >= max.as_u64() {
+        let limit = max.as_u64();
+        while self.core.stats()[flow.index()].delivered() < packets {
+            if self.core.now >= limit {
                 return false;
             }
-            self.step();
+            self.core.step(&self.layout, self.system, &self.plan);
+            self.core.skip_idle_gap(limit);
         }
         true
-    }
-
-    fn release_packets(&mut self) {
-        for src in &mut self.sources {
-            let flow = self.system.flow(src.flow);
-            while let Some(t) = self
-                .plan
-                .release_time(self.system, src.flow, src.next_packet)
-            {
-                if t.as_u64() > self.now {
-                    break;
-                }
-                let packet = src.next_packet;
-                let len = flow.length_flits();
-                for index in 0..len {
-                    src.queue.push_back(Flit::new(src.flow, packet, index, len));
-                }
-                src.release_times.insert(packet, t.as_u64());
-                src.next_packet += 1;
-                if let Some(tr) = &mut self.trace {
-                    tr.push(TraceEvent::PacketReleased {
-                        cycle: Cycles::new(self.now),
-                        flow: src.flow,
-                        packet,
-                    });
-                }
-            }
-        }
-    }
-
-    fn progress_routing(&mut self) {
-        for vc in &mut self.vcs {
-            let Some(head) = vc.buffer.front() else {
-                vc.routing_ready_at = None;
-                continue;
-            };
-            if head.is_header() && !vc.routed {
-                match vc.routing_ready_at {
-                    None => {
-                        let ready = self.now + self.routl;
-                        vc.routing_ready_at = Some(ready);
-                        if self.now >= ready {
-                            vc.routed = true;
-                        }
-                    }
-                    Some(ready) if self.now >= ready => vc.routed = true,
-                    Some(_) => {}
-                }
-            }
-        }
-    }
-
-    fn arbitrate_and_launch(&mut self) {
-        for link_idx in 0..self.links.len() {
-            if self.links[link_idx].is_some() {
-                continue; // mid-transmission (linkl > 1)
-            }
-            let link = LinkId::new(link_idx as u32);
-            let needs_credit = matches!(
-                self.system.topology().link(link).target(),
-                Endpoint::Router(_)
-            );
-            let mut winner: Option<Candidate> = None;
-            for &cand in &self.candidates[link_idx] {
-                let (available, prio) = match cand {
-                    Candidate::Source { flow } => (
-                        !self.sources[flow.index()].queue.is_empty(),
-                        self.system.flow(flow).priority().level(),
-                    ),
-                    Candidate::Vc { idx } => {
-                        let vc = &self.vcs[idx];
-                        let head_ready = match vc.buffer.front() {
-                            Some(f) if f.is_header() => vc.routed,
-                            Some(_) => true,
-                            None => false,
-                        };
-                        (head_ready, vc.priority)
-                    }
-                };
-                if !available {
-                    continue;
-                }
-                if needs_credit && self.credits.get(&(link, prio)).copied().unwrap_or(0) == 0 {
-                    continue; // blocked: no downstream buffer space
-                }
-                winner = Some(cand);
-                break; // candidates are sorted by priority
-            }
-            let Some(winner) = winner else { continue };
-            let flit = match winner {
-                Candidate::Source { flow } => self.sources[flow.index()]
-                    .queue
-                    .pop_front()
-                    .expect("availability checked"),
-                Candidate::Vc { idx } => {
-                    let vc = &mut self.vcs[idx];
-                    debug_assert_eq!(vc.out_link, link, "candidate wired to wrong output");
-                    let flit = vc.buffer.pop_front().expect("availability checked");
-                    if flit.is_tail() {
-                        vc.routed = false;
-                        vc.routing_ready_at = None;
-                    }
-                    // The freed slot becomes a credit for the upstream
-                    // sender of `in_link` at the next cycle boundary.
-                    self.credit_returns.push((vc.in_link, vc.priority));
-                    flit
-                }
-            };
-            if needs_credit {
-                let prio = self.system.flow(flit.flow()).priority().level();
-                let c = self
-                    .credits
-                    .get_mut(&(link, prio))
-                    .expect("credit entry exists for routed links");
-                debug_assert!(*c > 0);
-                *c -= 1;
-            }
-            self.links[link_idx] = Some(InFlight {
-                flit,
-                remaining: self.linkl,
-            });
-            self.link_flits[link_idx] += 1;
-            if let Some(tr) = &mut self.trace {
-                tr.push(TraceEvent::FlitLaunched {
-                    cycle: Cycles::new(self.now),
-                    link,
-                    flit,
-                });
-            }
-        }
-    }
-
-    fn advance_links(&mut self) {
-        for link_idx in 0..self.links.len() {
-            let Some(mut inflight) = self.links[link_idx].take() else {
-                continue;
-            };
-            inflight.remaining -= 1;
-            if inflight.remaining > 0 {
-                self.links[link_idx] = Some(inflight);
-                continue;
-            }
-            let link = LinkId::new(link_idx as u32);
-            let flit = inflight.flit;
-            match self.system.topology().link(link).target() {
-                Endpoint::Router(_) => {
-                    let prio = self.system.flow(flit.flow()).priority().level();
-                    let idx = self.vc_index[&(link, prio)];
-                    let vc = &mut self.vcs[idx];
-                    assert!(
-                        vc.buffer.len() < vc.capacity,
-                        "credit discipline violated: buffer overflow on {link}"
-                    );
-                    vc.buffer.push_back(flit);
-                }
-                Endpoint::Node(_) => {
-                    if flit.is_tail() {
-                        let arrival = self.now + 1;
-                        let src = &mut self.sources[flit.flow().index()];
-                        let released = src
-                            .release_times
-                            .remove(&flit.packet())
-                            .expect("packet was released");
-                        let latency = Cycles::new(arrival - released);
-                        self.stats[flit.flow().index()].record(latency);
-                        if let Some(tr) = &mut self.trace {
-                            tr.push(TraceEvent::PacketDelivered {
-                                cycle: Cycles::new(arrival),
-                                flow: flit.flow(),
-                                packet: flit.packet(),
-                                latency,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn apply_credit_returns(&mut self) {
-        for (link, prio) in self.credit_returns.drain(..) {
-            let c = self
-                .credits
-                .get_mut(&(link, prio))
-                .expect("credit entry exists");
-            *c += 1;
-        }
     }
 }
 
@@ -753,5 +486,36 @@ mod tests {
         let sys_b = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
         let plan_b = ReleasePlan::synchronous(&sys_b);
         let _ = Simulator::new(&sys_a, plan_b);
+    }
+
+    #[test]
+    fn shared_layout_runs_match_fresh_runs() {
+        let sys = single_flow_system(0, 4, 10);
+        let plan = ReleasePlan::synchronous(&sys).with_packet_limit(FlowId::new(0), 3);
+        let mut fresh = Simulator::new(&sys, plan.clone());
+        fresh.run_until(Cycles::new(300_000));
+        let layout = Arc::clone(fresh.layout());
+        let mut shared = Simulator::with_layout(&sys, layout, plan);
+        shared.run_until(Cycles::new(300_000));
+        assert_eq!(fresh.stats(), shared.stats());
+    }
+
+    #[test]
+    fn step_and_run_until_agree() {
+        // The public step() never skips; interleaving it with run_until
+        // must leave the same state as stepping throughout.
+        let sys = single_flow_system(0, 2, 8);
+        let plan = ReleasePlan::synchronous(&sys);
+        let mut stepped = Simulator::new(&sys, plan.clone());
+        for _ in 0..5_000 {
+            stepped.step();
+        }
+        let mut mixed = Simulator::new(&sys, plan);
+        for _ in 0..37 {
+            mixed.step();
+        }
+        mixed.run_until(Cycles::new(5_000));
+        assert_eq!(stepped.now(), mixed.now());
+        assert_eq!(stepped.stats(), mixed.stats());
     }
 }

@@ -36,11 +36,45 @@
 //! | Module | Paper artefact |
 //! |---|---|
 //! | [`engine`] | the §II / Figure 1 router: per-priority VCs, credit-based flow control, preemptive arbitration |
+//! | [`core`] | the struct-of-arrays kernel behind [`Simulator`]: shared [`SimLayout`], event-driven stepping, [`BatchSimulator`] |
 //! | [`flit`] | header/payload/tail flits of the wormhole model |
 //! | [`release`] | packet release phasings (synchronous, offsets, jitter patterns) |
 //! | [`search`] | Table II `R^sim` methodology: exhaustive offset sweep and the pruned critical-instant candidate search |
 //! | [`stats`] | per-flow best/worst observed latencies |
 //! | [`trace`] | event traces — `examples/mpb_trace` replays Figure 2's MPB mechanism from these |
+//!
+//! # Architecture: facade over a struct-of-arrays core
+//!
+//! [`Simulator`] is a thin facade. The actual machine lives in [`core`]
+//! and is split into an immutable *layout* and flat mutable *state*:
+//!
+//! * [`SimLayout`] is precomputed **once** from a [`noc_model::system::System`]:
+//!   dense virtual-channel ids, per-link candidate lists sorted by priority
+//!   with each candidate's downstream destination resolved ahead of time,
+//!   and per-flow route/length tables. It is immutable and lives behind an
+//!   `Arc`, so many runs — different release plans, offsets, jitter seeds —
+//!   share one layout ([`Simulator::with_layout`], [`BatchSimulator`]).
+//! * The per-run state is flat arrays indexed by those dense ids: VC
+//!   buffers are (head, length) cursors into each flow's flit stream
+//!   rather than `VecDeque`s of flits, credits are a plain `Vec` (globally
+//!   unique priorities make `(link, priority)` identify exactly one VC),
+//!   and release times live in a flat per-flow `Vec` instead of a
+//!   `HashMap`.
+//!
+//! Stepping is event-driven: a release min-heap and a routing-ready heap
+//! feed a set of *armed* links, and each cycle touches only armed or busy
+//! links. When a step changes nothing, `run_until` /
+//! `run_until_delivered` jump `now` straight to the next pending event
+//! (**event skipping**). The invariant — checked by
+//! `tests/engine_equivalence.rs` against the pre-refactor engine — is that
+//! a skip never crosses a release, launch or delivery, so statistics,
+//! traces and horizon behaviour are bit-identical to stepping every
+//! cycle. [`Simulator::step`] itself always advances exactly one cycle.
+//!
+//! For sweeps, [`BatchSimulator`] reuses one layout *and* one state
+//! allocation across plans ([`search::critical_offset_sweep`] and the
+//! Table II experiment drive it); `BENCH_sim.json` records the resulting
+//! speedups over the per-run-allocation baseline.
 //!
 //! # Fidelity preconditions
 //!
@@ -63,6 +97,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod core;
 pub mod engine;
 pub mod flit;
 pub mod release;
@@ -70,6 +105,7 @@ pub mod search;
 pub mod stats;
 pub mod trace;
 
+pub use core::{BatchSimulator, SimLayout};
 pub use engine::Simulator;
 pub use release::{JitterPattern, ReleasePlan};
 pub use stats::FlowStats;
@@ -77,6 +113,7 @@ pub use trace::TraceEvent;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::core::{BatchSimulator, SimLayout};
     pub use crate::engine::Simulator;
     pub use crate::flit::Flit;
     pub use crate::release::{JitterPattern, ReleasePlan};

@@ -179,6 +179,31 @@ impl ReleasePlan {
         let delay = self.jitter[flow.index()].delay(flow, k, f.jitter());
         Some(self.offsets[flow.index()] + f.period() * k + delay)
     }
+
+    /// The earliest release time strictly after `now`, across all flows,
+    /// or `None` when every flow has exhausted its packet limit by `now`.
+    ///
+    /// Packets of one flow enter the source queue in sequence order, so a
+    /// packet whose nominal time has passed gates its successors even if
+    /// jitter pulled a successor's nominal time earlier — this walks each
+    /// flow's sequence exactly as the engine releases it. Event-skipping
+    /// support: the simulator keeps the same quantity incrementally in its
+    /// release heap; this is the from-scratch reference (and the cheap way
+    /// for callers to bound an idle gap without building a simulator).
+    pub fn next_release_after(&self, system: &System, now: Cycles) -> Option<Cycles> {
+        let mut next: Option<Cycles> = None;
+        for flow in system.flows().ids() {
+            let mut k = 0;
+            while let Some(t) = self.release_time(system, flow, k) {
+                if t > now {
+                    next = Some(next.map_or(t, |n| n.min(t)));
+                    break;
+                }
+                k += 1;
+            }
+        }
+        next
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +309,38 @@ mod tests {
             assert!(t >= tick && t <= tick + Cycles::new(25), "packet {k}");
             assert_eq!(plan.release_time(&sys, f, k), Some(t), "stable");
         }
+    }
+
+    #[test]
+    fn next_release_after_scans_all_flows() {
+        let sys = system(); // periods 100 and 300
+        let plan = ReleasePlan::synchronous(&sys).with_offset(FlowId::new(1), Cycles::new(40));
+        assert_eq!(
+            plan.next_release_after(&sys, Cycles::ZERO),
+            Some(Cycles::new(40))
+        );
+        assert_eq!(
+            plan.next_release_after(&sys, Cycles::new(40)),
+            Some(Cycles::new(100))
+        );
+        assert_eq!(
+            plan.next_release_after(&sys, Cycles::new(100)),
+            Some(Cycles::new(200))
+        );
+    }
+
+    #[test]
+    fn next_release_after_none_once_limits_exhaust() {
+        let sys = system();
+        let plan = ReleasePlan::synchronous(&sys)
+            .with_packet_limit(FlowId::new(0), 2)
+            .with_packet_limit(FlowId::new(1), 1);
+        // Remaining releases: flow 0 at 0 and 100, flow 1 at 0.
+        assert_eq!(
+            plan.next_release_after(&sys, Cycles::ZERO),
+            Some(Cycles::new(100))
+        );
+        assert_eq!(plan.next_release_after(&sys, Cycles::new(100)), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use noc_model::ids::FlowId;
 use noc_model::system::System;
 use noc_model::time::Cycles;
 
-use crate::engine::Simulator;
+use crate::core::BatchSimulator;
 use crate::release::ReleasePlan;
 use crate::stats::FlowStats;
 
@@ -38,6 +38,10 @@ pub struct SearchOutcome {
 
 /// Runs every plan produced by `plans`, simulating each for `horizon`
 /// cycles, and returns the worst latency observed for `victim`.
+///
+/// All plans run through one [`BatchSimulator`] — the system's layout is
+/// precomputed once and one state allocation is reused across the whole
+/// sweep, with idle stretches skipped.
 ///
 /// Returns `None` if no plan delivered any packet of `victim` within the
 /// horizon.
@@ -65,10 +69,9 @@ pub fn search_worst_case(
 ) -> Option<SearchOutcome> {
     let mut outcome: Option<SearchOutcome> = None;
     let mut packets_total = 0;
+    let mut batch = BatchSimulator::new(system);
     for plan in plans {
-        let mut sim = Simulator::new(system, plan.clone());
-        sim.run_until(horizon);
-        let stats: &FlowStats = sim.flow_stats(victim);
+        let stats: &FlowStats = &batch.run(&plan, horizon)[victim.index()];
         packets_total += stats.delivered();
         if let Some(worst) = stats.worst_latency() {
             let better = outcome.as_ref().is_none_or(|o| worst > o.worst_latency);

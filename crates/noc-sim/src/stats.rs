@@ -28,6 +28,16 @@ impl FlowStats {
         self.samples.push(latency.as_u64());
     }
 
+    /// Rewinds to the empty state, keeping the samples allocation (used by
+    /// the batch path to reuse one `FlowStats` per flow across runs).
+    pub(crate) fn reset(&mut self) {
+        self.delivered = 0;
+        self.worst = None;
+        self.best = None;
+        self.total = 0;
+        self.samples.clear();
+    }
+
     /// Number of packets fully delivered.
     pub fn delivered(&self) -> u64 {
         self.delivered

@@ -1,0 +1,558 @@
+//! Differential regression test: the struct-of-arrays engine behind
+//! [`Simulator`] (with event skipping) against the pre-refactor engine.
+//!
+//! The `reference` module below is the original cycle-accurate engine —
+//! `VecDeque` buffers, `HashMap` credits, per-cycle scans — kept verbatim
+//! except that it collects latencies in plain vectors (the crate's
+//! `FlowStats::record` is private) and always records a trace. The SoA
+//! engine must produce bit-identical latency sequences *and* identical
+//! trace event sequences (same events, same order, same cycles) on:
+//!
+//! * the didactic Table II scenario (synchronous and the pruned
+//!   critical-instant offset sweep, both buffer depths),
+//! * the Figure 2 multi-point-progressive-blocking scenario,
+//! * randomized-jitter release schedules,
+//!
+//! and across every public driving mode: `step` loops, `run_until` (the
+//! skipping path), `run_until_delivered`, and the shared-layout
+//! [`BatchSimulator`] batch path.
+
+use noc_model::prelude::*;
+use noc_sim::prelude::*;
+use noc_workload::didactic;
+
+/// The pre-refactor engine, embedded as the semantics oracle.
+mod reference {
+    use std::collections::{HashMap, VecDeque};
+
+    use noc_model::ids::{FlowId, LinkId};
+    use noc_model::system::System;
+    use noc_model::time::Cycles;
+    use noc_model::topology::Endpoint;
+    use noc_sim::flit::Flit;
+    use noc_sim::release::ReleasePlan;
+    use noc_sim::trace::TraceEvent;
+
+    #[derive(Debug, Clone, Copy)]
+    struct InFlight {
+        flit: Flit,
+        remaining: u64,
+    }
+
+    #[derive(Debug)]
+    struct VcState {
+        buffer: VecDeque<Flit>,
+        capacity: usize,
+        in_link: LinkId,
+        out_link: LinkId,
+        priority: u32,
+        routed: bool,
+        routing_ready_at: Option<u64>,
+    }
+
+    #[derive(Debug)]
+    struct SourceState {
+        flow: FlowId,
+        next_packet: u64,
+        queue: VecDeque<Flit>,
+        release_times: HashMap<u64, u64>,
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Candidate {
+        Source { flow: FlowId },
+        Vc { idx: usize },
+    }
+
+    /// The original scan-everything simulator; one [`step`](Self::step) is
+    /// one cycle, with the exact phase order of the pre-refactor engine.
+    #[derive(Debug)]
+    pub struct RefSimulator<'a> {
+        system: &'a System,
+        plan: ReleasePlan,
+        now: u64,
+        linkl: u64,
+        routl: u64,
+        vcs: Vec<VcState>,
+        vc_index: HashMap<(LinkId, u32), usize>,
+        candidates: Vec<Vec<Candidate>>,
+        links: Vec<Option<InFlight>>,
+        credits: HashMap<(LinkId, u32), u32>,
+        sources: Vec<SourceState>,
+        /// Per-flow latencies in delivery order.
+        latencies: Vec<Vec<u64>>,
+        trace: Vec<TraceEvent>,
+        credit_returns: Vec<(LinkId, u32)>,
+    }
+
+    impl<'a> RefSimulator<'a> {
+        pub fn new(system: &'a System, plan: ReleasePlan) -> RefSimulator<'a> {
+            assert_eq!(plan.len(), system.flows().len());
+            let topology = system.topology();
+            let n_links = topology.link_count();
+
+            let mut vcs: Vec<VcState> = Vec::new();
+            let mut vc_index = HashMap::new();
+            let mut candidates: Vec<Vec<Candidate>> = vec![Vec::new(); n_links];
+            let mut credits = HashMap::new();
+
+            for (flow_id, flow) in system.flows().iter() {
+                let prio = flow.priority().level();
+                let route = system.route(flow_id);
+                let links = route.links();
+                for &l in links {
+                    if let Some(depth) = system.buffer_depth_of_link(l) {
+                        credits.insert((l, prio), depth);
+                    }
+                }
+                candidates[links[0].index()].push(Candidate::Source { flow: flow_id });
+                for p in 0..links.len() - 1 {
+                    let idx = vcs.len();
+                    let capacity = system
+                        .buffer_depth_of_link(links[p])
+                        .expect("intermediate links end at routers")
+                        as usize;
+                    vcs.push(VcState {
+                        buffer: VecDeque::with_capacity(capacity),
+                        capacity,
+                        in_link: links[p],
+                        out_link: links[p + 1],
+                        priority: prio,
+                        routed: false,
+                        routing_ready_at: None,
+                    });
+                    vc_index.insert((links[p], prio), idx);
+                    candidates[links[p + 1].index()].push(Candidate::Vc { idx });
+                }
+            }
+            for cand in &mut candidates {
+                cand.sort_by_key(|c| match *c {
+                    Candidate::Source { flow } => system.flow(flow).priority().level(),
+                    Candidate::Vc { idx } => vcs[idx].priority,
+                });
+            }
+            let sources = system
+                .flows()
+                .ids()
+                .map(|flow| SourceState {
+                    flow,
+                    next_packet: 0,
+                    queue: VecDeque::new(),
+                    release_times: HashMap::new(),
+                })
+                .collect();
+            RefSimulator {
+                system,
+                plan,
+                now: 0,
+                linkl: system.config().link_latency().as_u64(),
+                routl: system.config().routing_latency().as_u64(),
+                vcs,
+                vc_index,
+                candidates,
+                links: vec![None; n_links],
+                credits,
+                sources,
+                latencies: vec![Vec::new(); system.flows().len()],
+                trace: Vec::new(),
+                credit_returns: Vec::new(),
+            }
+        }
+
+        pub fn now(&self) -> u64 {
+            self.now
+        }
+
+        pub fn delivered(&self, flow: FlowId) -> u64 {
+            self.latencies[flow.index()].len() as u64
+        }
+
+        /// Per-flow latencies in delivery order, indexed by `FlowId`.
+        pub fn latencies(&self) -> &[Vec<u64>] {
+            &self.latencies
+        }
+
+        pub fn trace(&self) -> &[TraceEvent] {
+            &self.trace
+        }
+
+        pub fn step(&mut self) {
+            self.release_packets();
+            self.progress_routing();
+            self.arbitrate_and_launch();
+            self.advance_links();
+            self.apply_credit_returns();
+            self.now += 1;
+        }
+
+        pub fn run_until(&mut self, deadline: Cycles) {
+            while self.now < deadline.as_u64() {
+                self.step();
+            }
+        }
+
+        pub fn run_until_delivered(&mut self, flow: FlowId, packets: u64, max: Cycles) -> bool {
+            while self.delivered(flow) < packets {
+                if self.now >= max.as_u64() {
+                    return false;
+                }
+                self.step();
+            }
+            true
+        }
+
+        fn release_packets(&mut self) {
+            for src in &mut self.sources {
+                let flow = self.system.flow(src.flow);
+                while let Some(t) = self
+                    .plan
+                    .release_time(self.system, src.flow, src.next_packet)
+                {
+                    if t.as_u64() > self.now {
+                        break;
+                    }
+                    let packet = src.next_packet;
+                    let len = flow.length_flits();
+                    for index in 0..len {
+                        src.queue.push_back(Flit::new(src.flow, packet, index, len));
+                    }
+                    src.release_times.insert(packet, t.as_u64());
+                    src.next_packet += 1;
+                    self.trace.push(TraceEvent::PacketReleased {
+                        cycle: Cycles::new(self.now),
+                        flow: src.flow,
+                        packet,
+                    });
+                }
+            }
+        }
+
+        fn progress_routing(&mut self) {
+            for vc in &mut self.vcs {
+                let Some(head) = vc.buffer.front() else {
+                    vc.routing_ready_at = None;
+                    continue;
+                };
+                if head.is_header() && !vc.routed {
+                    match vc.routing_ready_at {
+                        None => {
+                            let ready = self.now + self.routl;
+                            vc.routing_ready_at = Some(ready);
+                            if self.now >= ready {
+                                vc.routed = true;
+                            }
+                        }
+                        Some(ready) if self.now >= ready => vc.routed = true,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+
+        fn arbitrate_and_launch(&mut self) {
+            for link_idx in 0..self.links.len() {
+                if self.links[link_idx].is_some() {
+                    continue;
+                }
+                let link = LinkId::new(link_idx as u32);
+                let needs_credit = matches!(
+                    self.system.topology().link(link).target(),
+                    Endpoint::Router(_)
+                );
+                let mut winner: Option<Candidate> = None;
+                for &cand in &self.candidates[link_idx] {
+                    let (available, prio) = match cand {
+                        Candidate::Source { flow } => (
+                            !self.sources[flow.index()].queue.is_empty(),
+                            self.system.flow(flow).priority().level(),
+                        ),
+                        Candidate::Vc { idx } => {
+                            let vc = &self.vcs[idx];
+                            let head_ready = match vc.buffer.front() {
+                                Some(f) if f.is_header() => vc.routed,
+                                Some(_) => true,
+                                None => false,
+                            };
+                            (head_ready, vc.priority)
+                        }
+                    };
+                    if !available {
+                        continue;
+                    }
+                    if needs_credit && self.credits.get(&(link, prio)).copied().unwrap_or(0) == 0 {
+                        continue;
+                    }
+                    winner = Some(cand);
+                    break;
+                }
+                let Some(winner) = winner else { continue };
+                let flit = match winner {
+                    Candidate::Source { flow } => self.sources[flow.index()]
+                        .queue
+                        .pop_front()
+                        .expect("availability checked"),
+                    Candidate::Vc { idx } => {
+                        let vc = &mut self.vcs[idx];
+                        assert_eq!(vc.out_link, link, "candidate wired to wrong output");
+                        let flit = vc.buffer.pop_front().expect("availability checked");
+                        if flit.is_tail() {
+                            vc.routed = false;
+                            vc.routing_ready_at = None;
+                        }
+                        self.credit_returns.push((vc.in_link, vc.priority));
+                        flit
+                    }
+                };
+                if needs_credit {
+                    let prio = self.system.flow(flit.flow()).priority().level();
+                    let c = self
+                        .credits
+                        .get_mut(&(link, prio))
+                        .expect("credit entry exists for routed links");
+                    *c -= 1;
+                }
+                self.links[link_idx] = Some(InFlight {
+                    flit,
+                    remaining: self.linkl,
+                });
+                self.trace.push(TraceEvent::FlitLaunched {
+                    cycle: Cycles::new(self.now),
+                    link,
+                    flit,
+                });
+            }
+        }
+
+        fn advance_links(&mut self) {
+            for link_idx in 0..self.links.len() {
+                let Some(mut inflight) = self.links[link_idx].take() else {
+                    continue;
+                };
+                inflight.remaining -= 1;
+                if inflight.remaining > 0 {
+                    self.links[link_idx] = Some(inflight);
+                    continue;
+                }
+                let link = LinkId::new(link_idx as u32);
+                let flit = inflight.flit;
+                match self.system.topology().link(link).target() {
+                    Endpoint::Router(_) => {
+                        let prio = self.system.flow(flit.flow()).priority().level();
+                        let idx = self.vc_index[&(link, prio)];
+                        let vc = &mut self.vcs[idx];
+                        assert!(vc.buffer.len() < vc.capacity, "overflow on {link}");
+                        vc.buffer.push_back(flit);
+                    }
+                    Endpoint::Node(_) => {
+                        if flit.is_tail() {
+                            let arrival = self.now + 1;
+                            let src = &mut self.sources[flit.flow().index()];
+                            let released = src
+                                .release_times
+                                .remove(&flit.packet())
+                                .expect("packet was released");
+                            let latency = arrival - released;
+                            self.latencies[flit.flow().index()].push(latency);
+                            self.trace.push(TraceEvent::PacketDelivered {
+                                cycle: Cycles::new(arrival),
+                                flow: flit.flow(),
+                                packet: flit.packet(),
+                                latency: Cycles::new(latency),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        fn apply_credit_returns(&mut self) {
+            for (link, prio) in self.credit_returns.drain(..) {
+                *self.credits.get_mut(&(link, prio)).expect("credit entry") += 1;
+            }
+        }
+    }
+}
+
+use reference::RefSimulator;
+
+/// Runs the reference engine to `horizon` and returns it.
+fn run_reference<'a>(system: &'a System, plan: &ReleasePlan, horizon: u64) -> RefSimulator<'a> {
+    let mut sim = RefSimulator::new(system, plan.clone());
+    sim.run_until(Cycles::new(horizon));
+    sim
+}
+
+/// Asserts the SoA simulator's statistics and trace equal the reference's.
+fn assert_matches_reference(sim: &Simulator<'_>, reference: &RefSimulator<'_>, label: &str) {
+    for flow in sim.stats().iter().zip(reference.latencies()).enumerate() {
+        let (idx, (stats, ref_lat)) = flow;
+        let got: Vec<u64> = stats.latencies().map(|c| c.as_u64()).collect();
+        assert_eq!(got, *ref_lat, "{label}: latency sequence of flow {idx}");
+        assert_eq!(
+            stats.delivered(),
+            ref_lat.len() as u64,
+            "{label}: delivered count of flow {idx}"
+        );
+        assert_eq!(
+            stats.worst_latency().map(|c| c.as_u64()),
+            ref_lat.iter().copied().max(),
+            "{label}: worst latency of flow {idx}"
+        );
+        assert_eq!(
+            stats.best_latency().map(|c| c.as_u64()),
+            ref_lat.iter().copied().min(),
+            "{label}: best latency of flow {idx}"
+        );
+    }
+    assert_eq!(
+        sim.trace(),
+        reference.trace(),
+        "{label}: trace event sequences differ"
+    );
+}
+
+#[test]
+fn didactic_synchronous_matches_reference() {
+    for depth in [2, 10] {
+        let sys = didactic::system(depth);
+        let plan = ReleasePlan::synchronous(&sys);
+        let reference = run_reference(&sys, &plan, 18_000);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(18_000));
+        assert_eq!(sim.now().as_u64(), reference.now());
+        assert_matches_reference(&sim, &reference, &format!("didactic b={depth}"));
+    }
+}
+
+#[test]
+fn figure2_mpb_scenario_matches_reference() {
+    let sys = didactic::figure2_system(4);
+    let plan = ReleasePlan::synchronous(&sys);
+    let reference = run_reference(&sys, &plan, 12_000);
+    let mut sim = Simulator::new(&sys, plan);
+    sim.enable_trace();
+    sim.run_until(Cycles::new(12_000));
+    assert_matches_reference(&sim, &reference, "figure2 b=4");
+}
+
+#[test]
+fn pure_step_loop_matches_reference() {
+    // step() never skips; drive both engines cycle by cycle and compare
+    // intermediate delivered counts as well as the final state.
+    let sys = didactic::figure2_system(2);
+    let f = didactic::Figure2Flows::ids();
+    let plan = ReleasePlan::synchronous(&sys);
+    let mut reference = RefSimulator::new(&sys, plan.clone());
+    let mut sim = Simulator::new(&sys, plan);
+    sim.enable_trace();
+    for _ in 0..3_000 {
+        sim.step();
+        reference.step();
+        assert_eq!(
+            sim.flow_stats(f.tau_i).delivered(),
+            reference.delivered(f.tau_i)
+        );
+    }
+    assert_matches_reference(&sim, &reference, "figure2 stepped");
+}
+
+#[test]
+fn critical_offset_sweep_matches_reference_via_simulator_and_batch() {
+    // Every candidate plan of the pruned Table II sweep, checked through
+    // both the facade (with tracing) and the shared-layout batch path.
+    let sys = didactic::system(2);
+    let f = didactic::DidacticFlows::ids();
+    let period = sys.flow(f.tau1).period();
+    let mut batch = BatchSimulator::new(&sys);
+    let mut plans = 0;
+    for plan in critical_offset_sweep(&sys, f.tau1, period) {
+        let reference = run_reference(&sys, &plan, 18_000);
+        let mut sim =
+            Simulator::with_layout(&sys, std::sync::Arc::clone(batch.layout()), plan.clone());
+        sim.enable_trace();
+        sim.run_until(Cycles::new(18_000));
+        assert_matches_reference(&sim, &reference, &format!("sweep plan {plans}"));
+
+        let stats = batch.run(&plan, Cycles::new(18_000));
+        for (idx, (got, want)) in stats.iter().zip(reference.latencies()).enumerate() {
+            let got: Vec<u64> = got.latencies().map(|c| c.as_u64()).collect();
+            assert_eq!(got, *want, "batch sweep plan {plans}: flow {idx}");
+        }
+        plans += 1;
+    }
+    assert!(plans > 1, "sweep produced {plans} plans");
+}
+
+#[test]
+fn randomized_jitter_matches_reference() {
+    // Three contended flows with declared jitter bounds and seeded random
+    // release delays: the release heap must reproduce the scan-based
+    // release order (and its sequence-order gating) exactly.
+    let topology = Topology::mesh(4, 1);
+    let flows = FlowSet::new(vec![
+        Flow::builder(NodeId::new(0), NodeId::new(3))
+            .priority(Priority::new(1))
+            .period(Cycles::new(150))
+            .jitter(Cycles::new(60))
+            .length_flits(8)
+            .build(),
+        Flow::builder(NodeId::new(1), NodeId::new(3))
+            .priority(Priority::new(2))
+            .period(Cycles::new(400))
+            .jitter(Cycles::new(200))
+            .length_flits(24)
+            .build(),
+        Flow::builder(NodeId::new(0), NodeId::new(2))
+            .priority(Priority::new(3))
+            .period(Cycles::new(900))
+            .jitter(Cycles::new(350))
+            .length_flits(40)
+            .build(),
+    ])
+    .unwrap();
+    let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+    for seed in [1u64, 7, 42] {
+        let mut plan = ReleasePlan::synchronous(&sys);
+        for flow in sys.flows().ids() {
+            plan = plan.with_jitter(flow, JitterPattern::Seeded(seed));
+        }
+        let reference = run_reference(&sys, &plan, 30_000);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(30_000));
+        assert_matches_reference(&sim, &reference, &format!("jitter seed {seed}"));
+    }
+}
+
+#[test]
+fn run_until_delivered_matches_reference() {
+    let sys = didactic::system(2);
+    let f = didactic::DidacticFlows::ids();
+    let plan = ReleasePlan::synchronous(&sys)
+        .with_packet_limit(f.tau1, 8)
+        .with_packet_limit(f.tau2, 2)
+        .with_packet_limit(f.tau3, 2);
+
+    // Goal reachable: both engines stop at the same cycle.
+    let mut reference = RefSimulator::new(&sys, plan.clone());
+    let ref_hit = reference.run_until_delivered(f.tau3, 2, Cycles::new(60_000));
+    let mut sim = Simulator::new(&sys, plan.clone());
+    sim.enable_trace();
+    let hit = sim.run_until_delivered(f.tau3, 2, Cycles::new(60_000));
+    assert!(hit && ref_hit);
+    assert_eq!(sim.now().as_u64(), reference.now());
+    assert_matches_reference(&sim, &reference, "run_until_delivered hit");
+    assert!(sim.is_quiescent());
+
+    // Goal unreachable: both run to the cap (the skipping engine must not
+    // overshoot it) and agree on the partial statistics.
+    let mut reference = RefSimulator::new(&sys, plan.clone());
+    let ref_hit = reference.run_until_delivered(f.tau3, 50, Cycles::new(9_000));
+    let mut sim = Simulator::new(&sys, plan);
+    sim.enable_trace();
+    let hit = sim.run_until_delivered(f.tau3, 50, Cycles::new(9_000));
+    assert!(!hit && !ref_hit);
+    assert_eq!(sim.now().as_u64(), reference.now());
+    assert_matches_reference(&sim, &reference, "run_until_delivered capped");
+}

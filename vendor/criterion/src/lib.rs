@@ -17,11 +17,45 @@ use std::time::{Duration, Instant};
 /// Re-export of `std::hint::black_box` under criterion's traditional name.
 pub use std::hint::black_box;
 
+/// One completed benchmark measurement, as delivered to a
+/// [`Criterion::with_measurement_sink`] callback.
+///
+/// This is the shim's machine-readable extension point: harnesses that need
+/// timings as data rather than console text (e.g. the `noc-bench`
+/// bench-to-JSON binary) install a sink and reuse the exact bench bodies the
+/// `cargo bench` targets run, instead of duplicating them.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark label (`group/function[/parameter]`).
+    pub label: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, in nanoseconds per iteration.
+    pub max_ns: f64,
+    /// The group's throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Callback receiving every [`Measurement`] produced by a [`Criterion`].
+pub type MeasurementSink = Box<dyn FnMut(Measurement)>;
+
 /// Top-level benchmark driver (API-compatible subset of criterion's).
-#[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    sink: Option<MeasurementSink>,
+}
+
+impl fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Criterion")
+            .field("sample_size", &self.sample_size)
+            .field("measurement_time", &self.measurement_time)
+            .field("sink", &self.sink.as_ref().map(|_| "FnMut(Measurement)"))
+            .finish()
+    }
 }
 
 impl Default for Criterion {
@@ -29,6 +63,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
+            sink: None,
         }
     }
 }
@@ -44,6 +79,13 @@ impl Criterion {
     /// Set the target measurement time (cap on total timing per benchmark).
     pub fn measurement_time(mut self, d: Duration) -> Self {
         self.measurement_time = d;
+        self
+    }
+
+    /// Install a callback that receives every completed [`Measurement`]
+    /// (shim extension; timings are still printed to stdout as usual).
+    pub fn with_measurement_sink(mut self, sink: MeasurementSink) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -69,6 +111,7 @@ impl Criterion {
             self.sample_size,
             self.measurement_time,
             None,
+            &mut self.sink,
             f,
         );
         self
@@ -85,7 +128,6 @@ pub enum Throughput {
 }
 
 /// A named collection of benchmarks sharing a throughput annotation.
-#[derive(Debug)]
 pub struct BenchmarkGroup<'c> {
     criterion: &'c mut Criterion,
     name: String,
@@ -95,6 +137,17 @@ pub struct BenchmarkGroup<'c> {
     // write through to the shared `Criterion`.
     sample_size: Option<usize>,
     measurement_time: Option<Duration>,
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .field("throughput", &self.throughput)
+            .field("sample_size", &self.sample_size)
+            .field("measurement_time", &self.measurement_time)
+            .finish_non_exhaustive()
+    }
 }
 
 impl BenchmarkGroup<'_> {
@@ -130,6 +183,7 @@ impl BenchmarkGroup<'_> {
             self.measurement_time
                 .unwrap_or(self.criterion.measurement_time),
             self.throughput,
+            &mut self.criterion.sink,
             f,
         );
         self
@@ -240,6 +294,7 @@ fn run_benchmark<F>(
     sample_size: usize,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    sink: &mut Option<MeasurementSink>,
     mut f: F,
 ) where
     F: FnMut(&mut Bencher),
@@ -284,6 +339,15 @@ fn run_benchmark<F>(
         format_time(mean),
         format_time(max)
     );
+    if let Some(sink) = sink {
+        sink(Measurement {
+            label: label.to_string(),
+            mean_ns: mean * 1e9,
+            min_ns: min * 1e9,
+            max_ns: max * 1e9,
+            throughput,
+        });
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -344,6 +408,31 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("ibn", 16).to_string(), "ibn/16");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn sink_receives_measurements_with_labels_and_throughput() {
+        let samples = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let tap = samples.clone();
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(1))
+            .with_measurement_sink(Box::new(move |m| tap.borrow_mut().push(m)));
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+            g.finish();
+        }
+        let got = samples.borrow();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].label, "standalone");
+        assert!(got[0].throughput.is_none());
+        assert_eq!(got[1].label, "grp/inner");
+        assert!(matches!(got[1].throughput, Some(Throughput::Elements(10))));
+        assert!(got[1].mean_ns > 0.0);
+        assert!(got[1].min_ns <= got[1].mean_ns && got[1].mean_ns <= got[1].max_ns);
     }
 
     #[test]
