@@ -280,6 +280,84 @@ impl Analysis for BufferAware {
     }
 }
 
+/// The five analyses as a plain value — the form used where a `&dyn
+/// Analysis` is inconvenient, such as keying the per-analysis solve caches
+/// of [`IncrementalContext`](crate::incremental::IncrementalContext) or
+/// shipping a choice of analysis across threads in a query batch.
+///
+/// `kind.name()` matches the corresponding [`Analysis::name`] exactly, and
+/// analysing through a kind yields bit-identical reports to the trait path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// [`NoIndirect`]: direct interference only, no jitter.
+    NoIndirect,
+    /// [`ShiBurns`] (SB): direct interference + interference jitter.
+    ShiBurns,
+    /// [`XiongOriginal`] (Eq. 4): MPB with `Iup` as window jitter.
+    XiongOriginal,
+    /// [`Xlwx`] (Eq. 5): downstream MPB charged as direct interference.
+    Xlwx,
+    /// [`BufferAware`] (**IBN**): MPB capped by the buffered interference.
+    BufferAware,
+}
+
+impl AnalysisKind {
+    /// Every kind, in increasing order of modelled interference detail
+    /// (the same order as [`all_analyses`]).
+    pub const ALL: [AnalysisKind; 5] = [
+        AnalysisKind::NoIndirect,
+        AnalysisKind::ShiBurns,
+        AnalysisKind::XiongOriginal,
+        AnalysisKind::Xlwx,
+        AnalysisKind::BufferAware,
+    ];
+
+    /// The display name, identical to the [`Analysis::name`] of the
+    /// corresponding unit struct.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::NoIndirect => NoIndirect.name(),
+            AnalysisKind::ShiBurns => ShiBurns.name(),
+            AnalysisKind::XiongOriginal => XiongOriginal.name(),
+            AnalysisKind::Xlwx => Xlwx.name(),
+            AnalysisKind::BufferAware => BufferAware.name(),
+        }
+    }
+
+    /// The corresponding analysis as a trait object, for callers that hold
+    /// a kind but want the [`Analysis`] entry points.
+    pub fn as_analysis(self) -> &'static (dyn Analysis + Send + Sync) {
+        match self {
+            AnalysisKind::NoIndirect => &NoIndirect,
+            AnalysisKind::ShiBurns => &ShiBurns,
+            AnalysisKind::XiongOriginal => &XiongOriginal,
+            AnalysisKind::Xlwx => &Xlwx,
+            AnalysisKind::BufferAware => &BufferAware,
+        }
+    }
+
+    /// The solver configuration of this analysis.
+    pub(crate) fn models(self) -> (DownstreamModel, JitterModel) {
+        match self {
+            AnalysisKind::NoIndirect => (DownstreamModel::Ignore, JitterModel::None),
+            AnalysisKind::ShiBurns => (DownstreamModel::Ignore, JitterModel::InterferenceJitter),
+            AnalysisKind::XiongOriginal => {
+                (DownstreamModel::Xlwx, JitterModel::UpstreamInterference)
+            }
+            AnalysisKind::Xlwx => (DownstreamModel::Xlwx, JitterModel::InterferenceJitter),
+            AnalysisKind::BufferAware => (
+                DownstreamModel::BufferAware,
+                JitterModel::InterferenceJitter,
+            ),
+        }
+    }
+
+    /// Dense index into per-kind tables (`0..ALL.len()`).
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// All analyses of this crate as trait objects, in increasing order of
 /// modelled interference detail. Convenient for sweeping experiments.
 pub fn all_analyses() -> Vec<Box<dyn Analysis + Send + Sync>> {

@@ -145,12 +145,17 @@ impl<'sys> AnalysisContext<'sys> {
     /// # Panics
     ///
     /// Panics if `target` does *not* preserve the structure (different flow
-    /// count, priorities or routes) — use [`AnalysisContext::rebase`] when
-    /// that is a recoverable condition.
+    /// count, priorities or routes), naming the violated invariant — use
+    /// [`AnalysisContext::rebase`] when that is a recoverable condition.
     #[must_use]
+    #[track_caller]
     pub fn rebased<'b>(&self, target: &'b System) -> AnalysisContext<'b> {
-        self.rebase(target)
-            .expect("derived system preserves the interference structure")
+        match self.rebase(target) {
+            Ok(ctx) => ctx,
+            Err(mismatch) => {
+                panic!("rebase target does not preserve the interference structure: {mismatch}")
+            }
+        }
     }
 
     /// The system this context was built for (or last rebased onto).

@@ -84,14 +84,35 @@ impl<'a> Solver<'a> {
         downstream: DownstreamModel,
         jitter: JitterModel,
     ) -> Self {
-        Solver {
-            system: ctx.system(),
-            graph: ctx.graph(),
-            order: ctx.priority_order(),
+        Self::from_parts(
+            ctx.system(),
+            ctx.graph(),
+            ctx.priority_order(),
+            ctx.zero_load_raw(),
             downstream,
             jitter,
-            c: ctx.zero_load_raw(),
-            r: vec![None; ctx.len()],
+        )
+    }
+
+    /// Builds a solver from raw parts — the entry point for owners of the
+    /// derived structure that are not an [`AnalysisContext`], such as the
+    /// incremental context (which owns its graph by value).
+    pub(crate) fn from_parts(
+        system: &'a System,
+        graph: &'a InterferenceGraph,
+        order: &'a [FlowId],
+        zero_load: &'a [u128],
+        downstream: DownstreamModel,
+        jitter: JitterModel,
+    ) -> Self {
+        Solver {
+            system,
+            graph,
+            order,
+            downstream,
+            jitter,
+            c: zero_load,
+            r: vec![None; order.len()],
             idown_memo: HashMap::new(),
         }
     }
@@ -129,6 +150,67 @@ impl<'a> Solver<'a> {
             .map(|e| e.expect("every flow solved"))
             .collect();
         (AnalysisReport::new(name, verdicts), explanations)
+    }
+
+    /// Runs the analysis against `cache`, re-solving only the flows whose
+    /// interference inputs changed since the cache was last brought up to
+    /// date; every other flow's verdict (and response time) is reused
+    /// verbatim, so the result is bit-identical to a full
+    /// [`Solver::solve`] by construction.
+    ///
+    /// Dirtiness propagates down the priority order first: every member of
+    /// `S^D_i ∪ S^I_i` has strictly higher priority than τᵢ (both sets are
+    /// built from higher-priority flows only), and the fixed point of τᵢ
+    /// reads nothing outside those sets — including through the recursive
+    /// downstream term, whose every `R`- and structure-reference follows
+    /// chains of such edges. One pass in solve order therefore reaches the
+    /// whole transitive closure.
+    ///
+    /// On return the cache is clean (all dirty bits cleared) and holds the
+    /// verdicts of the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was sized for a different number of flows.
+    pub(crate) fn solve_cached(
+        mut self,
+        name: &'static str,
+        cache: &mut SolveCache,
+    ) -> AnalysisReport {
+        assert_eq!(
+            cache.r.len(),
+            self.order.len(),
+            "solve cache does not match the flow set"
+        );
+        for &i in self.order {
+            if !cache.dirty[i.index()] {
+                let deps_dirty = self
+                    .graph
+                    .direct_set(i)
+                    .iter()
+                    .chain(self.graph.indirect_set(i).iter())
+                    .any(|&j| cache.dirty[j.index()]);
+                cache.dirty[i.index()] = deps_dirty;
+            }
+        }
+        for &i in self.order {
+            if cache.dirty[i.index()] {
+                let (verdict, _) = self.solve_flow(i);
+                if let FlowVerdict::Schedulable { response_time } = verdict {
+                    self.r[i.index()] = Some(u128::from(response_time.as_u64()));
+                }
+                cache.verdicts[i.index()] = verdict;
+            } else {
+                // Clean flow: its fixed point is unchanged; republish the
+                // cached response time for lower-priority flows to read.
+                self.r[i.index()] = cache.r[i.index()];
+            }
+        }
+        cache.r = self.r;
+        for d in cache.dirty.iter_mut() {
+            *d = false;
+        }
+        AnalysisReport::new(name, cache.verdicts.clone())
     }
 
     /// Computes the verdict for one flow; every higher-priority flow has
@@ -303,6 +385,55 @@ impl<'a> Solver<'a> {
             .map(|&l| u128::from(self.system.buffer_depth_of_link(l).unwrap_or(0)))
             .sum();
         linkl * total_buf
+    }
+}
+
+/// Memoised solve state of **one** analysis over an evolving flow set: the
+/// response times and verdicts of the last solve plus a per-flow dirty bit.
+///
+/// Owned per analysis kind by the incremental context; consumed and
+/// refreshed by [`Solver::solve_cached`]. A freshly created cache is
+/// all-dirty, so the first solve through it is exactly a full solve.
+#[derive(Debug, Clone)]
+pub(crate) struct SolveCache {
+    /// Final response times of the last solve (`None` for flows without a
+    /// valid bound), indexed by flow.
+    r: Vec<Option<u128>>,
+    /// Verdicts of the last solve, indexed by flow.
+    verdicts: Vec<FlowVerdict>,
+    /// Flows whose interference inputs changed since the last solve.
+    dirty: Vec<bool>,
+}
+
+impl SolveCache {
+    /// A cache for `n` flows with every flow marked dirty.
+    pub(crate) fn all_dirty(n: usize) -> SolveCache {
+        SolveCache {
+            r: vec![None; n],
+            verdicts: vec![FlowVerdict::NotConverged; n],
+            dirty: vec![true; n],
+        }
+    }
+
+    /// Appends state for a newly added flow (dense id = old length),
+    /// marked dirty.
+    pub(crate) fn push_flow(&mut self) {
+        self.r.push(None);
+        self.verdicts.push(FlowVerdict::NotConverged);
+        self.dirty.push(true);
+    }
+
+    /// Drops the state of the flow at `index`; the dense renumbering of the
+    /// flows above it is the same `Vec::remove` shift.
+    pub(crate) fn remove_flow(&mut self, index: usize) {
+        self.r.remove(index);
+        self.verdicts.remove(index);
+        self.dirty.remove(index);
+    }
+
+    /// Marks one flow's inputs as changed.
+    pub(crate) fn mark_dirty(&mut self, index: usize) {
+        self.dirty[index] = true;
     }
 }
 

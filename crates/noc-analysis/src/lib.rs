@@ -80,21 +80,25 @@ pub mod analysis;
 pub mod context;
 mod engine;
 pub mod error;
+pub mod incremental;
 pub mod report;
 
 pub use analysis::{
-    all_analyses, Analysis, BufferAware, NoIndirect, ShiBurns, XiongOriginal, Xlwx,
+    all_analyses, Analysis, AnalysisKind, BufferAware, NoIndirect, ShiBurns, XiongOriginal, Xlwx,
 };
 pub use context::AnalysisContext;
 pub use error::AnalysisError;
+pub use incremental::{Delta, IncrementalContext};
 pub use report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
 
 /// Convenient re-exports of the crate's public surface.
 pub mod prelude {
     pub use crate::analysis::{
-        all_analyses, Analysis, BufferAware, NoIndirect, ShiBurns, XiongOriginal, Xlwx,
+        all_analyses, Analysis, AnalysisKind, BufferAware, NoIndirect, ShiBurns, XiongOriginal,
+        Xlwx,
     };
     pub use crate::context::AnalysisContext;
     pub use crate::error::AnalysisError;
+    pub use crate::incremental::{Delta, IncrementalContext};
     pub use crate::report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
 }

@@ -1,0 +1,21 @@
+//! Bench X8: admission-control serving — incremental delta re-analysis
+//! against a full context rebuild, and batched query throughput across
+//! worker threads (`noc_serve::run_batch`).
+//!
+//! The group body lives in [`noc_bench::suites`] so the `bench_json`
+//! binary measures exactly what `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::suites;
+
+fn admission_serving(c: &mut Criterion) {
+    let (label, system) = suites::admission_fixture(true);
+    suites::bench_admission_serving(c, label, &system);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = admission_serving
+}
+criterion_main!(benches);

@@ -1,7 +1,10 @@
-//! Bench-to-JSON binary: runs the `sim_throughput`, `table2` and
-//! `context_reuse` fixtures through the shared [`noc_bench::suites`] bodies
-//! and writes a machine-readable `BENCH_sim.json`, so performance claims in
-//! this repo always come with checked-in numbers.
+//! Bench-to-JSON binary: runs the `sim_throughput`, `table2`,
+//! `context_reuse` and `admission_serving` fixtures through the shared
+//! [`noc_bench::suites`] bodies and writes a machine-readable
+//! `BENCH_sim.json`, so performance claims in this repo always come with
+//! checked-in numbers. Every run also appends one line to
+//! `BENCH_history.jsonl` keyed by the git commit, building a perf
+//! trajectory across PRs.
 //!
 //! Usage:
 //!
@@ -14,6 +17,7 @@
 //!
 //! * `NOC_BENCH_FAST=1` — skip the production-scale 16×16 fixtures (CI mode).
 //! * `NOC_BENCH_OUT=path` — override the output path.
+//! * `NOC_BENCH_HISTORY=path` — override the history path (empty disables).
 //!
 //! Each measured fixture becomes one line in the output's `results` array:
 //! fixture label, cycles simulated per iteration (0 for the analysis-side
@@ -66,6 +70,8 @@ fn main() {
     suites::bench_table2_sweep(&mut c);
     suites::bench_batch_sweep(&mut c);
     suites::bench_context_reuse(&mut c, &suites::context_fixtures(production));
+    let (adm_label, adm_system) = suites::admission_fixture(production);
+    suites::bench_admission_serving(&mut c, adm_label, &adm_system);
 
     // Cycles simulated per iteration, by bench label. Analysis-side groups
     // (context_reuse) simulate nothing and report 0.
@@ -116,6 +122,70 @@ fn main() {
     if !write_baseline && baseline.is_empty() {
         eprintln!("warning: no BENCH_baseline.json found; speedups are null");
     }
+
+    let history_path =
+        std::env::var("NOC_BENCH_HISTORY").unwrap_or_else(|_| "BENCH_history.jsonl".to_string());
+    if !history_path.is_empty() {
+        let mode = if write_baseline {
+            "baseline"
+        } else if fast {
+            "fast"
+        } else {
+            "full"
+        };
+        append_history(&history_path, mode, &collected.borrow());
+    }
+}
+
+/// Append one compact JSON line for this run — keyed by the git commit —
+/// to the history log, so successive PRs leave a perf trajectory.
+fn append_history(path: &str, mode: &str, measurements: &[Measurement]) {
+    use std::io::Write;
+
+    let results: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"fixture\": {}, \"wall_ns\": {:.0}}}",
+                json_string(&m.label),
+                m.mean_ns
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"schema\": \"noc-bench/history/v1\", \"commit\": {}, \"mode\": \"{}\", \"results\": [{}]}}\n",
+        json_string(&git_commit()),
+        mode,
+        results.join(", ")
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended 1 run to {path}"),
+        Err(e) => eprintln!("warning: could not append history to {path}: {e}"),
+    }
+}
+
+/// The commit this run measures: `GITHUB_SHA` in CI, `git rev-parse HEAD`
+/// locally, `"unknown"` outside a checkout.
+fn git_commit() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Minimal JSON string escaping (labels only contain benign characters, but

@@ -186,3 +186,69 @@ pub fn bench_context_reuse(c: &mut Criterion, fixtures: &[(&'static str, System)
     }
     group.finish();
 }
+
+/// Fixture of the `admission_serving` group: `(label, system)`.
+///
+/// The production fixture is the north-star admission-control scale (16×16
+/// mesh, 1000 flows); fast mode drops to the 8×8 mid-size workload.
+pub fn admission_fixture(production: bool) -> (&'static str, System) {
+    if production {
+        ("16x16_1000", production_system(1_000, 2, 0xC0DE))
+    } else {
+        ("8x8_520", bench_system(8, 520, 2, 0xC0DE))
+    }
+}
+
+/// Bench group `admission_serving`: a single-flow admission what-if served
+/// by a full rebuild (derive graph + solve from scratch) against the
+/// incremental dirty-bit path (delta-update the graph, re-solve only the
+/// affected neighbourhood), plus batched query throughput at increasing
+/// worker-thread counts via [`noc_serve::run_batch`].
+pub fn bench_admission_serving(c: &mut Criterion, label: &str, system: &System) {
+    let mut group = c.benchmark_group("admission_serving");
+    let template = system.flows().flow(FlowId::new(0));
+    let candidate = Flow::builder(template.source(), template.dest())
+        .priority(Priority::new(system.flows().len() as u32 + 1))
+        .period(template.period())
+        .length_flits(16)
+        .build();
+
+    group.bench_with_input(BenchmarkId::new("full-rebuild", label), system, |b, sys| {
+        b.iter(|| {
+            let (grown, _) = sys.with_added_flow(candidate.clone(), &XyRouting).unwrap();
+            let ctx = AnalysisContext::new(&grown).unwrap();
+            black_box(BufferAware.analyze_with(&ctx).unwrap())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("incremental", label), system, |b, sys| {
+        let mut ctx = IncrementalContext::new(sys.clone()).unwrap();
+        // Warm the solve cache: the first analyze pays the full solve that
+        // every later delta amortises, exactly like a live server.
+        black_box(ctx.analyze(AnalysisKind::BufferAware));
+        b.iter(|| {
+            let id = ctx.add_flow(candidate.clone(), &XyRouting).unwrap();
+            let report = ctx.analyze(AnalysisKind::BufferAware);
+            ctx.remove_flow(id).expect("undoing a fresh admission");
+            black_box(report)
+        })
+    });
+
+    let base = AnalysisContext::new(system).expect("bench fixture is analysable");
+    let batch = noc_serve::QueryBatch {
+        analysis: AnalysisKind::BufferAware,
+        queries: noc_serve::sample_queries(system, 64),
+    };
+    let mut thread_counts = vec![1, 2, noc_serve::default_threads()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch-qps-{threads}t"), label),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(noc_serve::run_batch(&base, &batch, &XyRouting, threads)))
+            },
+        );
+    }
+    group.finish();
+}

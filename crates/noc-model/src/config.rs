@@ -71,6 +71,14 @@ impl NocConfig {
         self.buffer_depth = depth;
         self
     }
+
+    /// Returns a copy with the virtual-channel count replaced; `None`
+    /// restores automatic sizing to the number of priority levels.
+    #[must_use]
+    pub fn with_virtual_channels(mut self, vcs: Option<u32>) -> NocConfig {
+        self.virtual_channels = vcs;
+        self
+    }
 }
 
 impl Default for NocConfig {

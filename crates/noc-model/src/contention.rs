@@ -22,7 +22,7 @@
 //!
 //! [`System`]: crate::system::System
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::error::ModelError;
 use crate::ids::{FlowId, LinkId};
@@ -183,7 +183,7 @@ pub struct UpDownPartition {
 /// assert!(graph.direct_set(FlowId::new(0)).is_empty());
 /// # Ok::<(), noc_model::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterferenceGraph {
     direct: Vec<Vec<FlowId>>,
     indirect: Vec<Vec<FlowId>>,
@@ -257,36 +257,207 @@ impl InterferenceGraph {
         // Scratch membership mask, reused across flows to avoid the
         // quadratic Vec::contains scans of the naive formulation.
         let mut excluded = vec![false; n];
-        for a in 0..n {
-            excluded[a] = true;
-            for &j in &direct[a] {
-                excluded[j.index()] = true;
-            }
-            let mut seen: Vec<FlowId> = Vec::new();
-            for &j in &direct[a] {
-                for &k in &direct[j.index()] {
-                    if !excluded[k.index()] {
-                        excluded[k.index()] = true;
-                        seen.push(k);
-                    }
-                }
-            }
-            // Reset the scratch mask for the next flow.
-            excluded[a] = false;
-            for &j in &direct[a] {
-                excluded[j.index()] = false;
-            }
-            for &k in &seen {
-                excluded[k.index()] = false;
-            }
-            seen.sort_by_key(|&k| system.flow(k).priority());
-            indirect[a] = seen;
+        for (a, set) in indirect.iter_mut().enumerate() {
+            *set = Self::indirect_of(&direct, system, a, &mut excluded);
         }
         Ok(InterferenceGraph {
             direct,
             indirect,
             domains,
         })
+    }
+
+    /// Computes `S^I_a` from the direct sets: members of `S^D_j` for any
+    /// `j ∈ S^D_a` that are neither τa itself nor already direct.
+    ///
+    /// `excluded` is a caller-provided scratch mask (all `false` on entry,
+    /// restored to all `false` on exit) sized to the number of flows.
+    fn indirect_of(
+        direct: &[Vec<FlowId>],
+        system: &System,
+        a: usize,
+        excluded: &mut [bool],
+    ) -> Vec<FlowId> {
+        excluded[a] = true;
+        for &j in &direct[a] {
+            excluded[j.index()] = true;
+        }
+        let mut seen: Vec<FlowId> = Vec::new();
+        for &j in &direct[a] {
+            for &k in &direct[j.index()] {
+                if !excluded[k.index()] {
+                    excluded[k.index()] = true;
+                    seen.push(k);
+                }
+            }
+        }
+        // Reset the scratch mask for the next flow.
+        excluded[a] = false;
+        for &j in &direct[a] {
+            excluded[j.index()] = false;
+        }
+        for &k in &seen {
+            excluded[k.index()] = false;
+        }
+        seen.sort_by_key(|&k| system.flow(k).priority());
+        seen
+    }
+
+    /// Extends the graph with the (already routed) flow `id` of `system`,
+    /// recomputing only the neighbourhood the new flow touches.
+    ///
+    /// `system` must be the *post-addition* system, e.g. the one returned by
+    /// [`System::with_added_flow`], and `id` the dense id it assigned. Only
+    /// pairs involving the new flow can gain a contention domain, so the
+    /// work is proportional to the flows sharing links with the new route —
+    /// not to the whole system, which is what makes incremental admission
+    /// queries cheap.
+    ///
+    /// Returns every flow whose direct or indirect interference set may
+    /// have changed, `id` included — the set an incremental solver must
+    /// mark dirty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonContiguousContentionDomain`] if the new
+    /// route violates the contiguity assumption against an existing one.
+    /// The graph is left untouched in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the next dense id or `system` does not have
+    /// exactly one more flow than the graph covers.
+    pub fn add_flow(&mut self, system: &System, id: FlowId) -> Result<Vec<FlowId>, ModelError> {
+        let n_old = self.direct.len();
+        assert_eq!(id.index(), n_old, "added flow must take the next dense id");
+        assert_eq!(
+            system.flows().len(),
+            n_old + 1,
+            "system must already contain the added flow"
+        );
+        // Existing flows sharing at least one link with the new route.
+        let new_links: HashSet<LinkId> = system.route(id).iter().copied().collect();
+        let mut overlapping: Vec<FlowId> = Vec::new();
+        for g in system.flows().ids() {
+            if g != id && system.route(g).iter().any(|l| new_links.contains(l)) {
+                overlapping.push(g);
+            }
+        }
+        // All fallible work happens before any mutation, so a contiguity
+        // violation leaves the graph exactly as it was.
+        let mut new_domains: Vec<(FlowId, ContentionDomain)> =
+            Vec::with_capacity(overlapping.len());
+        for &g in &overlapping {
+            // `g < id` always holds (the new flow has the largest id), so
+            // `(g, id)` is already in canonical key order.
+            if let Some(cd) = ContentionDomain::compute(g, system.route(g), id, system.route(id))? {
+                new_domains.push((g, cd));
+            }
+        }
+        self.direct.push(Vec::new());
+        self.indirect.push(Vec::new());
+        let p_new = system.flow(id).priority();
+        // Existing flows whose direct set gains the new flow.
+        let mut changed = vec![false; n_old + 1];
+        for (g, cd) in new_domains {
+            let p_g = system.flow(g).priority();
+            self.domains.insert((g, id), cd);
+            if p_new.is_higher_than(p_g) {
+                self.direct[g.index()].push(id);
+                changed[g.index()] = true;
+            } else {
+                self.direct[id.index()].push(g);
+            }
+        }
+        // Restore the highest-to-lowest priority order of every touched set.
+        self.direct[id.index()].sort_by_key(|&j| system.flow(j).priority());
+        for (a, _) in changed.iter().enumerate().filter(|&(_, &c)| c) {
+            self.direct[a].sort_by_key(|&j| system.flow(j).priority());
+        }
+        // A flow's indirect set depends on its own direct set and on the
+        // direct sets of its direct interferers, so recompute exactly where
+        // one of those inputs changed.
+        let mut affected: Vec<FlowId> = Vec::new();
+        for a in 0..=n_old {
+            let touched =
+                a == id.index() || changed[a] || self.direct[a].iter().any(|&j| changed[j.index()]);
+            if touched {
+                affected.push(FlowId::new(a as u32));
+            }
+        }
+        let mut excluded = vec![false; n_old + 1];
+        for &a in &affected {
+            self.indirect[a.index()] =
+                Self::indirect_of(&self.direct, system, a.index(), &mut excluded);
+        }
+        Ok(affected)
+    }
+
+    /// Removes flow `id` from the graph, renumbering every larger id one
+    /// down (flow ids are dense indices) and recomputing indirect sets only
+    /// where the removed flow participated.
+    ///
+    /// `system` must be the *post-removal* system, e.g. the one returned by
+    /// [`System::without_flow`].
+    ///
+    /// Returns every remaining flow — under its **new** id — whose direct
+    /// or indirect interference set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds or `system` does not have exactly
+    /// one flow fewer than the graph covers.
+    pub fn remove_flow(&mut self, system: &System, id: FlowId) -> Vec<FlowId> {
+        let n_old = self.direct.len();
+        assert!(id.index() < n_old, "no such flow to remove");
+        assert_eq!(
+            system.flows().len(),
+            n_old - 1,
+            "system must no longer contain the removed flow"
+        );
+        // Flows that lose the removed flow from their interference sets —
+        // indexed under the *old* numbering. Losing a direct interferer can
+        // reshape the whole indirect set (the removed flow's own direct set
+        // stops being unioned in); losing an indirect one only drops it.
+        let affected_old: Vec<usize> = (0..n_old)
+            .filter(|&a| {
+                a != id.index() && (self.direct[a].contains(&id) || self.indirect[a].contains(&id))
+            })
+            .collect();
+        // Drop domains involving the flow and shift the keys above it.
+        let shift = |f: FlowId| {
+            if f > id {
+                FlowId::new(f.raw() - 1)
+            } else {
+                f
+            }
+        };
+        let old_domains = std::mem::take(&mut self.domains);
+        for ((lo, hi), cd) in old_domains {
+            if lo != id && hi != id {
+                self.domains.insert((shift(lo), shift(hi)), cd);
+            }
+        }
+        // Renumber the direct/indirect adjacency. Priorities are untouched
+        // and relative order is preserved, so the lists stay sorted.
+        self.direct.remove(id.index());
+        self.indirect.remove(id.index());
+        for set in self.direct.iter_mut().chain(self.indirect.iter_mut()) {
+            set.retain(|&f| f != id);
+            for f in set.iter_mut() {
+                *f = shift(*f);
+            }
+        }
+        let affected: Vec<FlowId> = affected_old
+            .into_iter()
+            .map(|a| shift(FlowId::new(a as u32)))
+            .collect();
+        let mut excluded = vec![false; n_old - 1];
+        for &a in &affected {
+            self.indirect[a.index()] =
+                Self::indirect_of(&self.direct, system, a.index(), &mut excluded);
+        }
+        affected
     }
 
     fn lookup(
@@ -705,6 +876,76 @@ mod tests {
             err,
             ModelError::NonContiguousContentionDomain { .. }
         ));
+    }
+
+    /// Six flows criss-crossing a 4×4 mesh — enough contention to exercise
+    /// direct, indirect, and disjoint pairs at once.
+    fn mesh_specs() -> Vec<(u32, u32, u32, u64)> {
+        vec![
+            (0, 15, 1, 1000),
+            (4, 7, 2, 1500),
+            (12, 3, 3, 2000),
+            (1, 13, 4, 2500),
+            (5, 6, 5, 3000),
+            (0, 10, 6, 3500),
+        ]
+    }
+
+    fn mesh_flow((src, dst, p, t): (u32, u32, u32, u64)) -> Flow {
+        Flow::builder(NodeId::new(src), NodeId::new(dst))
+            .priority(Priority::new(p))
+            .period(Cycles::new(t))
+            .length_flits(8)
+            .build()
+    }
+
+    #[test]
+    fn incremental_add_matches_from_scratch() {
+        let topology = Topology::mesh(4, 4);
+        let specs = mesh_specs();
+        let flows = FlowSet::new(vec![mesh_flow(specs[0])]).unwrap();
+        let mut sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let mut g = InterferenceGraph::new(&sys).unwrap();
+        for &spec in &specs[1..] {
+            let (next, id) = sys.with_added_flow(mesh_flow(spec), &XyRouting).unwrap();
+            let affected = g.add_flow(&next, id).unwrap();
+            assert!(affected.contains(&id));
+            sys = next;
+            assert_eq!(g, InterferenceGraph::new(&sys).unwrap());
+        }
+    }
+
+    #[test]
+    fn incremental_remove_matches_from_scratch() {
+        let topology = Topology::mesh(4, 4);
+        let flows = FlowSet::new(mesh_specs().into_iter().map(mesh_flow).collect()).unwrap();
+        let mut sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let mut g = InterferenceGraph::new(&sys).unwrap();
+        // Remove from the middle, the front, and the middle again so the
+        // id renumbering gets exercised in every position.
+        for victim in [2u32, 0, 2] {
+            let id = FlowId::new(victim);
+            sys = sys.without_flow(id).unwrap();
+            g.remove_flow(&sys, id);
+            assert_eq!(g, InterferenceGraph::new(&sys).unwrap());
+        }
+    }
+
+    #[test]
+    fn remove_then_re_add_round_trips() {
+        let full = didactic_system();
+        let g_full = InterferenceGraph::new(&full).unwrap();
+        // Drop the last flow (τ3), then grow the graph back. `add_flow`
+        // only needs the post-addition system, and removing the *last* id
+        // leaves every other id unchanged — so `full` itself is that system.
+        let last = FlowId::new(2);
+        let smaller = full.without_flow(last).unwrap();
+        let mut g = g_full.clone();
+        g.remove_flow(&smaller, last);
+        assert_eq!(g, InterferenceGraph::new(&smaller).unwrap());
+        let affected = g.add_flow(&full, last).unwrap();
+        assert!(affected.contains(&last));
+        assert_eq!(g, g_full);
     }
 
     #[test]

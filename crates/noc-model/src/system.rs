@@ -150,6 +150,110 @@ impl System {
             .collect()
     }
 
+    /// Returns a copy of the system extended with one additional flow,
+    /// routed by `routing`, together with the [`FlowId`] it was assigned.
+    ///
+    /// The new flow is appended, so every existing flow keeps its id — the
+    /// delta the incremental analysis context in `noc-analysis` exploits:
+    /// only interference pairs involving the new flow can change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures, [`ModelError::InvalidFlow`] /
+    /// [`ModelError::DuplicatePriority`] from flow-set revalidation, and
+    /// [`ModelError::InsufficientVirtualChannels`] when a fixed `vc(Ξ)`
+    /// cannot accommodate the extra priority level.
+    pub fn with_added_flow(
+        &self,
+        flow: Flow,
+        routing: &dyn RoutingAlgorithm,
+    ) -> Result<(System, FlowId), ModelError> {
+        let route = routing.route(&self.topology, flow.source(), flow.dest())?;
+        let mut flows: Vec<Flow> = self.flows.iter().map(|(_, f)| f.clone()).collect();
+        flows.push(flow);
+        let flows = FlowSet::new(flows)?;
+        if let Some(vcs) = self.config.virtual_channels() {
+            let required = flows.priority_levels();
+            if vcs < required {
+                return Err(ModelError::InsufficientVirtualChannels {
+                    available: vcs,
+                    required,
+                });
+            }
+        }
+        let id = FlowId::new(self.routes.len() as u32);
+        let mut routes = self.routes.clone();
+        routes.push(route);
+        Ok((
+            System {
+                topology: self.topology.clone(),
+                config: self.config,
+                flows,
+                routes,
+                buffer_overrides: self.buffer_overrides.clone(),
+            },
+            id,
+        ))
+    }
+
+    /// Returns a copy of the system without flow `id`.
+    ///
+    /// Flow ids are dense indices, so every flow with a larger id is
+    /// renumbered one down; routes and all other structure are preserved
+    /// verbatim (no re-routing happens).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFlow`] if `id` is out of bounds.
+    pub fn without_flow(&self, id: FlowId) -> Result<System, ModelError> {
+        if id.index() >= self.flows.len() {
+            return Err(ModelError::InvalidFlow {
+                flow: id,
+                reason: format!("no such flow to remove (set has {})", self.flows.len()),
+            });
+        }
+        let flows: Vec<Flow> = self
+            .flows
+            .iter()
+            .filter(|&(fid, _)| fid != id)
+            .map(|(_, f)| f.clone())
+            .collect();
+        let flows = FlowSet::new(flows).expect("a validated flow set stays valid after removal");
+        let mut routes = self.routes.clone();
+        routes.remove(id.index());
+        Ok(System {
+            topology: self.topology.clone(),
+            config: self.config,
+            flows,
+            routes,
+            buffer_overrides: self.buffer_overrides.clone(),
+        })
+    }
+
+    /// Returns a copy with the explicit virtual-channel count replaced
+    /// (`None` restores automatic sizing to the number of priority levels).
+    /// Useful before admission what-ifs against systems built with a tight
+    /// fixed `vc(Ξ)`, which would otherwise reject any added flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientVirtualChannels`] if a fixed count
+    /// is below the current number of priority levels.
+    pub fn with_virtual_channels(&self, vcs: Option<u32>) -> Result<System, ModelError> {
+        if let Some(v) = vcs {
+            let required = self.flows.priority_levels();
+            if v < required {
+                return Err(ModelError::InsufficientVirtualChannels {
+                    available: v,
+                    required,
+                });
+            }
+        }
+        let mut copy = self.clone();
+        copy.config = self.config.with_virtual_channels(vcs);
+        Ok(copy)
+    }
+
     /// Returns a copy of the system with a different *homogeneous* per-VC
     /// buffer depth — everything else (routes included) is preserved, and
     /// any per-router overrides are cleared. This is the lever the

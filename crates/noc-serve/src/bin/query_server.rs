@@ -1,0 +1,97 @@
+//! Batch admission-query server over a fixed base system.
+//!
+//! Builds one of the named fixtures, synthesises a deterministic mix of
+//! admission / removal / buffer what-if queries against it, serves them
+//! through `noc_serve::run_batch`, and prints a single-line JSON throughput
+//! record to stdout (also written to the path in `NOC_SERVE_OUT`, if set).
+//!
+//! Usage: `query_server [fixture] [n_queries] [threads]`
+//!
+//! * `fixture` — `didactic` (default), `8x8`, or `16x16`
+//! * `n_queries` — number of queries in the batch (default 64)
+//! * `threads` — worker threads (default: available parallelism, ≤ 16)
+
+use std::env;
+use std::error::Error;
+
+use noc_analysis::prelude::*;
+use noc_model::prelude::*;
+use noc_serve::{default_threads, run_batch, sample_queries, QueryBatch};
+use noc_workload::didactic;
+use noc_workload::synthetic::SyntheticSpec;
+
+fn build_fixture(name: &str) -> Result<(System, Box<dyn RoutingAlgorithm + Sync>), Box<dyn Error>> {
+    match name {
+        "didactic" => {
+            let (system, table) = didactic::system_with_routing(2);
+            // The paper fixture pins vc(Ξ) = 3, which would veto any fourth
+            // priority level; admission what-ifs need auto-sized VCs.
+            let system = system.with_virtual_channels(None)?;
+            Ok((system, Box::new(table)))
+        }
+        "8x8" => {
+            let system = SyntheticSpec::paper(8, 8, 520, 2).generate(1).into_system();
+            Ok((system, Box::new(XyRouting)))
+        }
+        "16x16" => {
+            let system = SyntheticSpec::paper(16, 16, 1000, 2)
+                .generate(1)
+                .into_system();
+            Ok((system, Box::new(XyRouting)))
+        }
+        other => Err(format!("unknown fixture {other:?} (didactic, 8x8, 16x16)").into()),
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fixture = args.first().map(String::as_str).unwrap_or("didactic");
+    let n_queries: usize = match args.get(1) {
+        Some(s) => s.parse()?,
+        None => 64,
+    };
+    let threads: usize = match args.get(2) {
+        Some(s) => s.parse()?,
+        None => default_threads(),
+    };
+
+    let (system, routing) = build_fixture(fixture)?;
+    let base = AnalysisContext::new(&system)?;
+    let batch = QueryBatch {
+        analysis: AnalysisKind::BufferAware,
+        queries: sample_queries(&system, n_queries),
+    };
+    let report = run_batch(&base, &batch, routing.as_ref(), threads);
+    let (accepted, rejected, infeasible) = report.tally();
+
+    let json = format!(
+        concat!(
+            "{{\"schema\": \"noc-serve/throughput/v1\", \"fixture\": \"{}\", ",
+            "\"flows\": {}, \"queries\": {}, \"threads\": {}, \"analysis\": \"{}\", ",
+            "\"wall_ns\": {}, \"queries_per_second\": {:.1}, ",
+            "\"accepted\": {}, \"rejected\": {}, \"infeasible\": {}}}"
+        ),
+        fixture,
+        system.flows().len(),
+        report.outcomes.len(),
+        report.threads,
+        batch.analysis.name(),
+        report.wall_ns,
+        report.queries_per_second(),
+        accepted,
+        rejected,
+        infeasible,
+    );
+    println!("{json}");
+    if let Ok(path) = env::var("NOC_SERVE_OUT") {
+        std::fs::write(path, json + "\n")?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("query_server: {e}");
+        std::process::exit(1);
+    }
+}

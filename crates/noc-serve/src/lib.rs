@@ -1,0 +1,454 @@
+//! Batch query serving for admission-control workloads.
+//!
+//! An online admission controller for a priority-preemptive NoC faces a
+//! stream of *what-if* questions against one live system: *can this flow
+//! join? what happens when that one retires? does a cheaper router with
+//! smaller buffers still certify?* Each question is a full schedulability
+//! run in miniature, and fleets of them arrive together (e.g. scoring every
+//! placement candidate for a new task). This crate turns the incremental
+//! machinery of `noc-analysis` into a throughput-oriented front-end for
+//! exactly that shape of work.
+//!
+//! # Query model
+//!
+//! A [`QueryBatch`] pairs one [`AnalysisKind`] with a list of [`Query`]
+//! values, evaluated independently against the same *base* system:
+//!
+//! * [`Query::Admission`] — add a candidate flow, re-certify, roll back;
+//! * [`Query::Removal`] — retire an existing flow, re-certify, restore;
+//! * [`Query::BufferWhatIf`] — re-certify at a different buffer depth.
+//!
+//! Every query answers with a [`QueryOutcome`]; the batch reports wall
+//! time and queries/second in its [`BatchReport`].
+//!
+//! # Deduplication via rebase, sharding via worker threads
+//!
+//! The expensive derived structure — the interference graph — is built
+//! **once** for the base system, inside the shared
+//! [`AnalysisContext`]. From there two cheap forks serve all queries:
+//!
+//! * buffer what-ifs share the graph itself through
+//!   [`AnalysisContext::rebase`] (an `Arc` clone: zero copying), because a
+//!   buffer depth change preserves the interference structure;
+//! * flow mutations need a *mutable* graph, so each worker thread forks one
+//!   [`IncrementalContext`] from the base (`from_context` clones the graph
+//!   rather than re-deriving it) and then serves all its queries through
+//!   add → dirty-bit re-solve → remove undo cycles, touching only the
+//!   interference neighbourhood each candidate overlaps.
+//!
+//! Queries are sharded across threads in contiguous chunks via
+//! `par_map_indexed`; outcomes come back in submission order regardless of
+//! scheduling.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::Instant;
+
+use noc_analysis::analysis::AnalysisKind;
+use noc_analysis::context::AnalysisContext;
+use noc_analysis::incremental::IncrementalContext;
+use noc_analysis::report::AnalysisReport;
+pub use noc_experiments::runner::default_threads;
+use noc_model::flow::Flow;
+use noc_model::ids::FlowId;
+use noc_model::routing::RoutingAlgorithm;
+
+/// One admission-control what-if against the batch's base system.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Can `flow` be admitted — is the system still schedulable with it?
+    /// The flow is routed by the batch's routing algorithm and removed
+    /// again after the verdict, so queries stay independent.
+    Admission {
+        /// The candidate flow (its priority must be unused in the base
+        /// system).
+        flow: Flow,
+    },
+    /// Is the system still schedulable when the flow `id` (a base-system
+    /// id) retires? The flow is restored after the verdict.
+    Removal {
+        /// Base-system id of the flow to retire hypothetically.
+        id: FlowId,
+    },
+    /// Is the system schedulable with every router buffer resized to
+    /// `depth` flits? Interference structure is preserved, so this is
+    /// served from the shared base context without any graph work.
+    BufferWhatIf {
+        /// Hypothetical homogeneous buffer depth, in flits (≥ 1).
+        depth: u32,
+    },
+}
+
+/// A set of independent queries evaluated under one analysis.
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    /// The analysis certifying every what-if system.
+    pub analysis: AnalysisKind,
+    /// The queries, answered in order.
+    pub queries: Vec<Query>,
+}
+
+/// The verdict of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The what-if system is schedulable under the batch's analysis.
+    Accepted,
+    /// The what-if system is analysable but `failing` flows miss their
+    /// bound.
+    Rejected {
+        /// Number of flows without a schedulable verdict.
+        failing: u32,
+    },
+    /// The what-if system cannot be built at all — unroutable candidate,
+    /// duplicate priority, out-of-range id, … The reason is the model
+    /// error's display form.
+    Infeasible {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl QueryOutcome {
+    fn from_report(report: &AnalysisReport) -> QueryOutcome {
+        let failing = report.iter().filter(|(_, v)| !v.is_schedulable()).count() as u32;
+        if failing == 0 {
+            QueryOutcome::Accepted
+        } else {
+            QueryOutcome::Rejected { failing }
+        }
+    }
+
+    /// `true` for [`QueryOutcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, QueryOutcome::Accepted)
+    }
+}
+
+/// Outcomes and throughput of one [`run_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-query verdicts, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Wall-clock time of the sharded evaluation, in nanoseconds.
+    pub wall_ns: u128,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Answered queries per second of wall time.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.outcomes.len() as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Counts of (accepted, rejected, infeasible) outcomes.
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for o in &self.outcomes {
+            match o {
+                QueryOutcome::Accepted => t.0 += 1,
+                QueryOutcome::Rejected { .. } => t.1 += 1,
+                QueryOutcome::Infeasible { .. } => t.2 += 1,
+            }
+        }
+        t
+    }
+}
+
+/// Mutable per-shard serving state: an incremental context plus the
+/// base-id → current-id permutation that removal/restore cycles induce.
+struct Shard<'a> {
+    ctx: IncrementalContext,
+    /// `map[base.index()]` = the flow's id in `ctx` right now. Removing a
+    /// flow shifts every larger id down; restoring it appends at the end.
+    map: Vec<FlowId>,
+    routing: &'a (dyn RoutingAlgorithm + Sync),
+    kind: AnalysisKind,
+}
+
+impl<'a> Shard<'a> {
+    fn new(
+        base: &AnalysisContext<'_>,
+        routing: &'a (dyn RoutingAlgorithm + Sync),
+        kind: AnalysisKind,
+    ) -> Shard<'a> {
+        let n = base.len();
+        Shard {
+            ctx: IncrementalContext::from_context(base),
+            map: (0..n as u32).map(FlowId::new).collect(),
+            routing,
+            kind,
+        }
+    }
+
+    fn serve(&mut self, base: &AnalysisContext<'_>, query: &Query) -> QueryOutcome {
+        match query {
+            Query::Admission { flow } => match self.ctx.add_flow(flow.clone(), self.routing) {
+                Ok(id) => {
+                    let report = self.ctx.analyze(self.kind);
+                    self.ctx
+                        .remove_flow(id)
+                        .expect("the just-admitted flow exists");
+                    QueryOutcome::from_report(&report)
+                }
+                Err(e) => QueryOutcome::Infeasible {
+                    reason: e.to_string(),
+                },
+            },
+            Query::Removal { id } => {
+                let Some(&current) = self.map.get(id.index()) else {
+                    return QueryOutcome::Infeasible {
+                        reason: format!("no flow {id} in the base system"),
+                    };
+                };
+                let flow = self.ctx.system().flows().flow(current).clone();
+                self.ctx
+                    .remove_flow(current)
+                    .expect("mapped ids stay in bounds");
+                let report = self.ctx.analyze(self.kind);
+                // Restore: deterministic routing reproduces the original
+                // route, so only the id changes — track it in the map.
+                let restored = self
+                    .ctx
+                    .add_flow(flow, self.routing)
+                    .expect("restoring a previously admitted flow cannot fail");
+                for m in self.map.iter_mut() {
+                    if *m > current {
+                        *m = FlowId::new(m.raw() - 1);
+                    }
+                }
+                self.map[id.index()] = restored;
+                QueryOutcome::from_report(&report)
+            }
+            Query::BufferWhatIf { depth } => {
+                let what_if = base.system().with_buffer_depth(*depth);
+                match base.rebase(&what_if) {
+                    Ok(ctx) => match self.kind.as_analysis().analyze_with(&ctx) {
+                        Ok(report) => QueryOutcome::from_report(&report),
+                        Err(e) => QueryOutcome::Infeasible {
+                            reason: e.to_string(),
+                        },
+                    },
+                    Err(e) => QueryOutcome::Infeasible {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic sample query mix for demos and benchmarks: half
+/// admissions (templated on existing source/dest pairs with a fresh
+/// priority), a quarter removals, a quarter buffer what-ifs.
+pub fn sample_queries(system: &noc_model::system::System, n: usize) -> Vec<Query> {
+    let ids: Vec<FlowId> = system.flows().ids().collect();
+    let fresh_priority = noc_model::ids::Priority::new(ids.len() as u32 + 1);
+    (0..n)
+        .map(|i| match i % 4 {
+            2 => Query::Removal {
+                id: ids[i % ids.len()],
+            },
+            3 => Query::BufferWhatIf {
+                depth: 1 + (i % 8) as u32,
+            },
+            _ => {
+                let template = system.flows().flow(ids[i % ids.len()]);
+                Query::Admission {
+                    flow: Flow::builder(template.source(), template.dest())
+                        .priority(fresh_priority)
+                        .period(template.period())
+                        .length_flits(4 + (i as u32 % 61))
+                        .build(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Evaluates `batch` against the system of `base`, sharding the queries
+/// over `threads` worker threads.
+///
+/// Each shard serves a contiguous chunk of the batch so outcomes return in
+/// submission order. Worker state is forked from `base` (see the
+/// [module docs](self) for the dedup structure); the base context itself is
+/// only read.
+///
+/// `routing` must be deterministic (the same `(source, dest)` always yields
+/// the same route) — true of every algorithm in `noc-model` — so that
+/// removal queries can restore the flow they retired.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_batch(
+    base: &AnalysisContext<'_>,
+    batch: &QueryBatch,
+    routing: &(dyn RoutingAlgorithm + Sync),
+    threads: usize,
+) -> BatchReport {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = batch.queries.len();
+    let shards = threads.min(n.max(1));
+    // Contiguous chunks, the first `n % shards` one longer.
+    let chunk = n / shards;
+    let extra = n % shards;
+    let bounds: Vec<(usize, usize)> = (0..shards)
+        .scan(0usize, |start, s| {
+            let len = chunk + usize::from(s < extra);
+            let range = (*start, *start + len);
+            *start += len;
+            Some(range)
+        })
+        .collect();
+    let started = Instant::now();
+    let per_shard: Vec<Vec<QueryOutcome>> =
+        noc_experiments::runner::par_map_indexed(shards, shards, |s| {
+            let (lo, hi) = bounds[s];
+            let mut shard = Shard::new(base, routing, batch.analysis);
+            batch.queries[lo..hi]
+                .iter()
+                .map(|q| shard.serve(base, q))
+                .collect()
+        });
+    let wall_ns = started.elapsed().as_nanos();
+    BatchReport {
+        outcomes: per_shard.into_iter().flatten().collect(),
+        wall_ns,
+        threads: shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::prelude::*;
+
+    fn mesh_flow((src, dst, p, t): (u32, u32, u32, u64)) -> Flow {
+        Flow::builder(NodeId::new(src), NodeId::new(dst))
+            .priority(Priority::new(p))
+            .period(Cycles::new(t))
+            .length_flits(8)
+            .build()
+    }
+
+    fn base_system() -> System {
+        let specs = [
+            (0, 15, 1, 1000),
+            (4, 7, 2, 1500),
+            (12, 3, 3, 2000),
+            (1, 13, 4, 2500),
+        ];
+        let flows = FlowSet::new(specs.into_iter().map(mesh_flow).collect()).unwrap();
+        System::new(
+            Topology::mesh(4, 4),
+            NocConfig::default(),
+            flows,
+            &XyRouting,
+        )
+        .unwrap()
+    }
+
+    fn sample_batch() -> QueryBatch {
+        QueryBatch {
+            analysis: AnalysisKind::BufferAware,
+            queries: vec![
+                Query::Admission {
+                    flow: mesh_flow((5, 6, 5, 3000)),
+                },
+                Query::Removal { id: FlowId::new(1) },
+                Query::BufferWhatIf { depth: 8 },
+                Query::Removal { id: FlowId::new(0) },
+                Query::Admission {
+                    flow: mesh_flow((0, 10, 6, 3500)),
+                },
+                Query::Removal { id: FlowId::new(3) },
+            ],
+        }
+    }
+
+    #[test]
+    fn outcomes_are_thread_count_invariant() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let solo = run_batch(&base, &batch, &XyRouting, 1);
+        assert_eq!(solo.outcomes.len(), batch.queries.len());
+        for threads in [2, 4] {
+            let sharded = run_batch(&base, &batch, &XyRouting, threads);
+            assert_eq!(sharded.outcomes, solo.outcomes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn queries_match_from_scratch_analysis() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let got = run_batch(&base, &batch, &XyRouting, 2);
+        // Oracle: rebuild each what-if system from scratch.
+        for (query, outcome) in batch.queries.iter().zip(&got.outcomes) {
+            let expected_sys = match query {
+                Query::Admission { flow } => {
+                    sys.with_added_flow(flow.clone(), &XyRouting).unwrap().0
+                }
+                Query::Removal { id } => sys.without_flow(*id).unwrap(),
+                Query::BufferWhatIf { depth } => sys.with_buffer_depth(*depth),
+            };
+            let report = batch.analysis.as_analysis().analyze(&expected_sys).unwrap();
+            assert_eq!(outcome, &QueryOutcome::from_report(&report), "{query:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_queries_are_reported_not_fatal() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = QueryBatch {
+            analysis: AnalysisKind::Xlwx,
+            queries: vec![
+                // Duplicate priority: rejected by flow-set validation.
+                Query::Admission {
+                    flow: mesh_flow((5, 6, 1, 3000)),
+                },
+                Query::Removal {
+                    id: FlowId::new(99),
+                },
+                // A sane query after the failures still works.
+                Query::BufferWhatIf { depth: 4 },
+            ],
+        };
+        let report = run_batch(&base, &batch, &XyRouting, 2);
+        assert!(matches!(
+            report.outcomes[0],
+            QueryOutcome::Infeasible { .. }
+        ));
+        assert!(matches!(
+            report.outcomes[1],
+            QueryOutcome::Infeasible { .. }
+        ));
+        assert!(!matches!(
+            report.outcomes[2],
+            QueryOutcome::Infeasible { .. }
+        ));
+        let (_, _, infeasible) = report.tally();
+        assert_eq!(infeasible, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = QueryBatch {
+            analysis: AnalysisKind::ShiBurns,
+            queries: Vec::new(),
+        };
+        let report = run_batch(&base, &batch, &XyRouting, 4);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.tally(), (0, 0, 0));
+    }
+}

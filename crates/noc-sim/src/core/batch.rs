@@ -69,8 +69,10 @@ impl<'a> BatchSimulator<'a> {
             system.flows().len(),
             "layout does not match the system's flow count"
         );
-        let plan = ReleasePlan::synchronous(system);
-        let core = SimCore::new(&layout, system, &plan);
+        // The core stays unseeded until the first `run`: building (and
+        // seeding from) a placeholder plan here would only be thrown away
+        // by the `reset` every run starts with.
+        let core = SimCore::new(&layout);
         BatchSimulator {
             system,
             layout,

@@ -177,11 +177,14 @@ pub(crate) struct SimCore {
 }
 
 impl SimCore {
-    /// Fresh state for `layout`, with every release of `plan` seeded.
-    pub(crate) fn new(layout: &SimLayout, system: &System, plan: &ReleasePlan) -> SimCore {
+    /// Fresh *unseeded* state for `layout`: no plan is consulted, so the
+    /// batch path can allocate one core up front and seed it per run via
+    /// [`SimCore::reset`]. Callers that step the core directly must seed
+    /// releases first with [`SimCore::seed_releases`].
+    pub(crate) fn new(layout: &SimLayout) -> SimCore {
         let n_flows = layout.flow_count();
         let n_vcs = layout.vc_count();
-        let mut core = SimCore {
+        SimCore {
             now: 0,
             changed: false,
             live_flits: 0,
@@ -209,9 +212,7 @@ impl SimCore {
             trace: None,
             credit_returns: Vec::new(),
             scratch: LinkSet::new(layout.n_links),
-        };
-        core.seed_releases(system, plan);
-        core
+        }
     }
 
     /// Rewinds the core to cycle zero for a new run over the same layout,
@@ -248,7 +249,9 @@ impl SimCore {
         self.seed_releases(system, plan);
     }
 
-    fn seed_releases(&mut self, system: &System, plan: &ReleasePlan) {
+    /// Pushes the first release of every flow of `plan` onto the release
+    /// heap. Must run exactly once per run, on a fresh or just-reset core.
+    pub(crate) fn seed_releases(&mut self, system: &System, plan: &ReleasePlan) {
         for f in 0..self.src_released.len() {
             let flow = FlowId::new(f as u32);
             if let Some(t) = plan.release_time(system, flow, 0) {

@@ -111,7 +111,8 @@ impl<'a> Simulator<'a> {
             system.flows().len(),
             "layout does not match the system's flow count"
         );
-        let core = SimCore::new(&layout, system, &plan);
+        let mut core = SimCore::new(&layout);
+        core.seed_releases(system, &plan);
         Simulator {
             system,
             plan,

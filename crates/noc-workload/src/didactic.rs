@@ -70,6 +70,14 @@ impl DidacticFlows {
 /// Panics if `buffer_depth` is zero (forwarded from
 /// `NocConfig` validation).
 pub fn system(buffer_depth: u32) -> System {
+    system_with_routing(buffer_depth).0
+}
+
+/// [`system`], but also returning the routing table the system was built
+/// with — needed by callers that keep routing *new* flows over the didactic
+/// topology afterwards (e.g. admission what-ifs in `noc-serve`). The table
+/// routes the three `(source, dest)` pairs of Table I.
+pub fn system_with_routing(buffer_depth: u32) -> (System, TableRouting) {
     let mut b = TopologyBuilder::new();
     let r: Vec<RouterId> = (1..=6)
         .map(|i| b.add_named_router(format!("r{i}")))
@@ -155,7 +163,8 @@ pub fn system(buffer_depth: u32) -> System {
         .routing_latency(Cycles::ZERO)
         .virtual_channels(3)
         .build();
-    System::new(topo, config, flows, &table).expect("didactic system is valid")
+    let system = System::new(topo, config, flows, &table).expect("didactic system is valid");
+    (system, table)
 }
 
 /// Identifiers of the three flows of the Figure 2 scenario.
