@@ -36,10 +36,10 @@ pub trait Analysis {
     ///
     /// # Errors
     ///
-    /// The concrete analyses of this crate never fail here (the fallible
-    /// derivation already happened in [`AnalysisContext::new`]); the
-    /// `Result` keeps the trait open for analyses with their own failure
-    /// modes.
+    /// The concrete analyses of this crate fail here only with
+    /// [`AnalysisError::ConvergenceCap`], on pathological inputs whose
+    /// fixed-point iteration exhausts the solver's safety cap (the fallible
+    /// structure derivation already happened in [`AnalysisContext::new`]).
     fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError>;
 
     /// [`Analysis::explain`] against a shared context: per-flow interference
@@ -89,16 +89,16 @@ impl Analysis for NoIndirect {
     }
 
     fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
-        Ok(Solver::new(ctx, DownstreamModel::Ignore, JitterModel::None).solve(self.name()))
+        Solver::new(ctx, DownstreamModel::Ignore, JitterModel::None).solve(self.name())
     }
 
     fn explain_with(
         &self,
         ctx: &AnalysisContext<'_>,
     ) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(Solver::new(ctx, DownstreamModel::Ignore, JitterModel::None)
+        Solver::new(ctx, DownstreamModel::Ignore, JitterModel::None)
             .solve_explained(self.name())
-            .1)
+            .map(|(_, explanations)| explanations)
     }
 }
 
@@ -131,25 +131,25 @@ impl Analysis for ShiBurns {
     }
 
     fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
-        Ok(Solver::new(
+        Solver::new(
             ctx,
             DownstreamModel::Ignore,
             JitterModel::InterferenceJitter,
         )
-        .solve(self.name()))
+        .solve(self.name())
     }
 
     fn explain_with(
         &self,
         ctx: &AnalysisContext<'_>,
     ) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(Solver::new(
+        Solver::new(
             ctx,
             DownstreamModel::Ignore,
             JitterModel::InterferenceJitter,
         )
         .solve_explained(self.name())
-        .1)
+        .map(|(_, explanations)| explanations)
     }
 }
 
@@ -166,25 +166,25 @@ impl Analysis for XiongOriginal {
     }
 
     fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
-        Ok(Solver::new(
+        Solver::new(
             ctx,
             DownstreamModel::Xlwx,
             JitterModel::UpstreamInterference,
         )
-        .solve(self.name()))
+        .solve(self.name())
     }
 
     fn explain_with(
         &self,
         ctx: &AnalysisContext<'_>,
     ) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(Solver::new(
+        Solver::new(
             ctx,
             DownstreamModel::Xlwx,
             JitterModel::UpstreamInterference,
         )
         .solve_explained(self.name())
-        .1)
+        .map(|(_, explanations)| explanations)
     }
 }
 
@@ -201,21 +201,16 @@ impl Analysis for Xlwx {
     }
 
     fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
-        Ok(
-            Solver::new(ctx, DownstreamModel::Xlwx, JitterModel::InterferenceJitter)
-                .solve(self.name()),
-        )
+        Solver::new(ctx, DownstreamModel::Xlwx, JitterModel::InterferenceJitter).solve(self.name())
     }
 
     fn explain_with(
         &self,
         ctx: &AnalysisContext<'_>,
     ) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(
-            Solver::new(ctx, DownstreamModel::Xlwx, JitterModel::InterferenceJitter)
-                .solve_explained(self.name())
-                .1,
-        )
+        Solver::new(ctx, DownstreamModel::Xlwx, JitterModel::InterferenceJitter)
+            .solve_explained(self.name())
+            .map(|(_, explanations)| explanations)
     }
 }
 
@@ -258,25 +253,25 @@ impl Analysis for BufferAware {
     }
 
     fn analyze_with(&self, ctx: &AnalysisContext<'_>) -> Result<AnalysisReport, AnalysisError> {
-        Ok(Solver::new(
+        Solver::new(
             ctx,
             DownstreamModel::BufferAware,
             JitterModel::InterferenceJitter,
         )
-        .solve(self.name()))
+        .solve(self.name())
     }
 
     fn explain_with(
         &self,
         ctx: &AnalysisContext<'_>,
     ) -> Result<Vec<FlowExplanation>, AnalysisError> {
-        Ok(Solver::new(
+        Solver::new(
             ctx,
             DownstreamModel::BufferAware,
             JitterModel::InterferenceJitter,
         )
         .solve_explained(self.name())
-        .1)
+        .map(|(_, explanations)| explanations)
     }
 }
 
@@ -476,5 +471,45 @@ mod tests {
         ));
         // The higher-priority flow itself is fine.
         assert!(report.verdict(FlowId::new(0)).is_schedulable());
+    }
+
+    #[test]
+    fn pathological_recurrence_hits_iteration_cap() {
+        // τ0 exactly saturates the shared link (charge == period), so τ1's
+        // recurrence grows by a constant few dozen cycles per iteration;
+        // with an astronomical deadline it can neither converge nor miss
+        // before the solver's safety cap, which must surface as a
+        // structured error naming the flow.
+        let topology = Topology::mesh(3, 1);
+        let flows = FlowSet::new(vec![
+            // C = 19 cycles (see `direct_interference_single_hit`).
+            Flow::builder(NodeId::new(0), NodeId::new(2))
+                .priority(Priority::new(1))
+                .period(Cycles::new(19))
+                .length_flits(16)
+                .build(),
+            Flow::builder(NodeId::new(1), NodeId::new(2))
+                .priority(Priority::new(2))
+                .period(Cycles::new(10_000_000_000))
+                .length_flits(32)
+                .build(),
+        ])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let err = Xlwx.analyze(&sys).unwrap_err();
+        match err {
+            AnalysisError::ConvergenceCap {
+                flow,
+                iterations,
+                last_bound,
+            } => {
+                assert_eq!(flow, FlowId::new(1));
+                assert_eq!(iterations, 100_000);
+                assert!(last_bound > Cycles::new(0));
+            }
+            other => panic!("expected ConvergenceCap, got {other:?}"),
+        }
+        // The explain path fails identically.
+        assert!(Xlwx.explain(&sys).is_err());
     }
 }

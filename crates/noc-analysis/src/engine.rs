@@ -26,6 +26,8 @@ use noc_model::system::System;
 use noc_model::time::Cycles;
 
 use crate::context::AnalysisContext;
+use crate::error::AnalysisError;
+use crate::metrics;
 use crate::report::{AnalysisReport, FlowExplanation, FlowVerdict, InterferenceTerm};
 
 /// How downstream indirect interference (the MPB effect) is charged per hit
@@ -60,7 +62,10 @@ pub(crate) enum JitterModel {
 }
 
 /// Iteration safety cap; monotone integer iterations converge or blow past
-/// the deadline long before this.
+/// the deadline long before this on sane inputs. Exhausting it aborts the
+/// solve with [`AnalysisError::ConvergenceCap`] naming the flow (and bumps
+/// [`metrics::SOLVER_CAP_HITS`]) instead of silently reporting an opaque
+/// non-verdict.
 const MAX_ITERATIONS: usize = 100_000;
 
 pub(crate) struct Solver<'a> {
@@ -118,22 +123,32 @@ impl<'a> Solver<'a> {
     }
 
     /// Runs the analysis over the whole flow set.
-    pub(crate) fn solve(self, name: &'static str) -> AnalysisReport {
-        self.solve_explained(name).0
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ConvergenceCap`] if any flow's fixed-point
+    /// iteration exhausts the safety cap.
+    pub(crate) fn solve(self, name: &'static str) -> Result<AnalysisReport, AnalysisError> {
+        Ok(self.solve_explained(name)?.0)
     }
 
     /// Runs the analysis and additionally returns the per-flow
     /// interference breakdowns at the fixed points.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Solver::solve`].
     pub(crate) fn solve_explained(
         mut self,
         name: &'static str,
-    ) -> (AnalysisReport, Vec<FlowExplanation>) {
+    ) -> Result<(AnalysisReport, Vec<FlowExplanation>), AnalysisError> {
+        let _span = metrics::SOLVE_NS.span();
         let order = self.order;
         let n = order.len();
         let mut verdicts = vec![FlowVerdict::NotConverged; n];
         let mut explanations: Vec<Option<FlowExplanation>> = (0..n).map(|_| None).collect();
         for &i in order {
-            let (verdict, terms) = self.solve_flow(i);
+            let (verdict, terms) = self.solve_flow(i)?;
             if let FlowVerdict::Schedulable { response_time } = verdict {
                 self.r[i.index()] = Some(u128::from(response_time.as_u64()));
             }
@@ -149,7 +164,7 @@ impl<'a> Solver<'a> {
             .into_iter()
             .map(|e| e.expect("every flow solved"))
             .collect();
-        (AnalysisReport::new(name, verdicts), explanations)
+        Ok((AnalysisReport::new(name, verdicts), explanations))
     }
 
     /// Runs the analysis against `cache`, re-solving only the flows whose
@@ -169,6 +184,12 @@ impl<'a> Solver<'a> {
     /// On return the cache is clean (all dirty bits cleared) and holds the
     /// verdicts of the report.
     ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ConvergenceCap`] if a dirty flow's
+    /// fixed-point iteration exhausts the safety cap; the cache is then
+    /// poisoned all-dirty so the next solve through it is a full solve.
+    ///
     /// # Panics
     ///
     /// Panics if `cache` was sized for a different number of flows.
@@ -176,7 +197,8 @@ impl<'a> Solver<'a> {
         mut self,
         name: &'static str,
         cache: &mut SolveCache,
-    ) -> AnalysisReport {
+    ) -> Result<AnalysisReport, AnalysisError> {
+        let _span = metrics::SOLVE_NS.span();
         assert_eq!(
             cache.r.len(),
             self.order.len(),
@@ -193,9 +215,20 @@ impl<'a> Solver<'a> {
                 cache.dirty[i.index()] = deps_dirty;
             }
         }
+        let (mut dirty_solved, mut clean_reused) = (0u64, 0u64);
         for &i in self.order {
             if cache.dirty[i.index()] {
-                let (verdict, _) = self.solve_flow(i);
+                dirty_solved += 1;
+                let verdict = match self.solve_flow(i) {
+                    Ok((verdict, _)) => verdict,
+                    Err(e) => {
+                        // Half the flows are solved, half are stale; the
+                        // only consistent cache state is "everything needs
+                        // a re-solve".
+                        cache.poison();
+                        return Err(e);
+                    }
+                };
                 if let FlowVerdict::Schedulable { response_time } = verdict {
                     self.r[i.index()] = Some(u128::from(response_time.as_u64()));
                 }
@@ -203,6 +236,7 @@ impl<'a> Solver<'a> {
             } else {
                 // Clean flow: its fixed point is unchanged; republish the
                 // cached response time for lower-priority flows to read.
+                clean_reused += 1;
                 self.r[i.index()] = cache.r[i.index()];
             }
         }
@@ -210,18 +244,40 @@ impl<'a> Solver<'a> {
         for d in cache.dirty.iter_mut() {
             *d = false;
         }
-        AnalysisReport::new(name, cache.verdicts.clone())
+        metrics::CACHE_DIRTY_SOLVED.add(dirty_solved);
+        metrics::CACHE_CLEAN_REUSED.add(clean_reused);
+        // Argument construction allocates, so gate the emission itself.
+        if noc_telemetry::enabled() {
+            noc_telemetry::events::emit(
+                "analysis.solve_cached",
+                &[
+                    ("analysis", name.into()),
+                    ("dirty_solved", dirty_solved.into()),
+                    ("clean_reused", clean_reused.into()),
+                ],
+            );
+        }
+        Ok(AnalysisReport::new(name, cache.verdicts.clone()))
     }
 
     /// Computes the verdict for one flow; every higher-priority flow has
     /// been solved already.
-    fn solve_flow(&mut self, i: FlowId) -> (FlowVerdict, Vec<InterferenceTerm>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ConvergenceCap`] if the fixed-point
+    /// iteration exhausts [`MAX_ITERATIONS`].
+    fn solve_flow(
+        &mut self,
+        i: FlowId,
+    ) -> Result<(FlowVerdict, Vec<InterferenceTerm>), AnalysisError> {
+        metrics::SOLVER_FLOWS_SOLVED.incr();
         let flow = self.system.flow(i);
         let deadline = u128::from(flow.deadline().as_u64());
         let direct: Vec<FlowId> = self.graph.direct_set(i).to_vec();
         // Taint: a failed direct interferer leaves τᵢ without a valid bound.
         if direct.iter().any(|&j| self.r[j.index()].is_none()) {
-            return (FlowVerdict::Tainted, Vec::new());
+            return Ok((FlowVerdict::Tainted, Vec::new()));
         }
         // Per-interferer constants of the recurrence (independent of Rᵢ).
         let mut terms = Vec::with_capacity(direct.len());
@@ -258,7 +314,9 @@ impl<'a> Solver<'a> {
         // Monotone fixed-point iteration from Rᵢ⁰ = Cᵢ.
         let c_i = self.c[i.index()];
         let mut r = c_i;
+        let mut iterations = 0u64;
         for _ in 0..MAX_ITERATIONS {
+            iterations += 1;
             let mut next = c_i;
             for &(_, t_j, jitter_j, _, charge, _) in &terms {
                 let window = r.saturating_add(jitter_j);
@@ -266,24 +324,32 @@ impl<'a> Solver<'a> {
                 next = next.saturating_add(hits.saturating_mul(charge));
             }
             if next > deadline {
-                return (
+                metrics::SOLVER_ITERATIONS.add(iterations);
+                return Ok((
                     FlowVerdict::DeadlineMiss {
                         exceeded_at: clamp_cycles(next),
                     },
                     explain(r, &terms),
-                );
+                ));
             }
             if next == r {
-                return (
+                metrics::SOLVER_ITERATIONS.add(iterations);
+                return Ok((
                     FlowVerdict::Schedulable {
                         response_time: clamp_cycles(r),
                     },
                     explain(r, &terms),
-                );
+                ));
             }
             r = next;
         }
-        (FlowVerdict::NotConverged, explain(r, &terms))
+        metrics::SOLVER_ITERATIONS.add(iterations);
+        metrics::SOLVER_CAP_HITS.incr();
+        Err(AnalysisError::ConvergenceCap {
+            flow: i,
+            iterations,
+            last_bound: clamp_cycles(r),
+        })
     }
 
     /// The jitter added to τⱼ's interference window when bounding τᵢ.
@@ -434,6 +500,14 @@ impl SolveCache {
     /// Marks one flow's inputs as changed.
     pub(crate) fn mark_dirty(&mut self, index: usize) {
         self.dirty[index] = true;
+    }
+
+    /// Marks every flow dirty — the recovery state after an aborted
+    /// cached solve left the cache half-refreshed.
+    pub(crate) fn poison(&mut self) {
+        for d in self.dirty.iter_mut() {
+            *d = true;
+        }
     }
 }
 

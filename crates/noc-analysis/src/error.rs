@@ -4,6 +4,8 @@ use std::error::Error;
 use std::fmt;
 
 use noc_model::error::ModelError;
+use noc_model::ids::FlowId;
+use noc_model::time::Cycles;
 
 /// Errors raised while running a response-time analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +23,21 @@ pub enum AnalysisError {
         /// What changed between the context's system and the rebase target.
         detail: String,
     },
+    /// A fixed-point iteration blew past the solver's safety cap without
+    /// converging or exceeding its deadline — pathological inputs (huge
+    /// deadlines with near-saturating interference) rather than a model
+    /// violation. The detail names the flow so callers can report *which*
+    /// recurrence diverged instead of an opaque failure; each occurrence
+    /// is also counted in
+    /// [`metrics::SOLVER_CAP_HITS`](crate::metrics::SOLVER_CAP_HITS).
+    ConvergenceCap {
+        /// The flow whose recurrence hit the cap.
+        flow: FlowId,
+        /// The iteration cap that was exhausted.
+        iterations: u64,
+        /// The (still growing) response-time bound at the last iteration.
+        last_bound: Cycles,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -30,6 +47,17 @@ impl fmt::Display for AnalysisError {
             AnalysisError::ContextMismatch { detail } => {
                 write!(f, "analysis context incompatible with system: {detail}")
             }
+            AnalysisError::ConvergenceCap {
+                flow,
+                iterations,
+                last_bound,
+            } => {
+                write!(
+                    f,
+                    "fixed-point iteration for {flow} exceeded the {iterations}-iteration \
+                     safety cap (bound had grown to {last_bound} without converging)"
+                )
+            }
         }
     }
 }
@@ -38,7 +66,7 @@ impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AnalysisError::Model(e) => Some(e),
-            AnalysisError::ContextMismatch { .. } => None,
+            AnalysisError::ContextMismatch { .. } | AnalysisError::ConvergenceCap { .. } => None,
         }
     }
 }

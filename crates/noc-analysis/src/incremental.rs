@@ -36,7 +36,7 @@
 //! #     .priority(Priority::new(1)).period(Cycles::new(1_000)).length_flits(16).build()])?;
 //! # let system = System::new(topology, NocConfig::default(), flows, &XyRouting)?;
 //! let mut ctx = IncrementalContext::new(system)?;
-//! let before = ctx.analyze(AnalysisKind::BufferAware);
+//! let before = ctx.analyze(AnalysisKind::BufferAware)?;
 //!
 //! // Admission what-if: add the candidate, re-analyse, roll back.
 //! let candidate = Flow::builder(NodeId::new(1), NodeId::new(2))
@@ -45,9 +45,9 @@
 //!     .length_flits(8)
 //!     .build();
 //! let id = ctx.add_flow(candidate, &XyRouting)?;
-//! let admitted = ctx.analyze(AnalysisKind::BufferAware).is_schedulable();
+//! let admitted = ctx.analyze(AnalysisKind::BufferAware)?.is_schedulable();
 //! ctx.remove_flow(id)?;
-//! assert_eq!(ctx.analyze(AnalysisKind::BufferAware), before);
+//! assert_eq!(ctx.analyze(AnalysisKind::BufferAware)?, before);
 //! # assert!(admitted);
 //! # Ok::<(), noc_analysis::error::AnalysisError>(())
 //! ```
@@ -62,6 +62,7 @@ use crate::analysis::AnalysisKind;
 use crate::context::AnalysisContext;
 use crate::engine::{SolveCache, Solver};
 use crate::error::AnalysisError;
+use crate::metrics;
 use crate::report::AnalysisReport;
 
 /// One mutation of the flow set, for batch application via
@@ -156,6 +157,8 @@ impl IncrementalContext {
                 cache.mark_dirty(a.index());
             }
         }
+        metrics::INCREMENTAL_DELTAS.incr();
+        metrics::INCREMENTAL_FLOWS_DIRTIED.add(affected.len() as u64);
         Ok(id)
     }
 
@@ -177,6 +180,8 @@ impl IncrementalContext {
                 cache.mark_dirty(a.index());
             }
         }
+        metrics::INCREMENTAL_DELTAS.incr();
+        metrics::INCREMENTAL_FLOWS_DIRTIED.add(affected.len() as u64);
         Ok(())
     }
 
@@ -202,7 +207,14 @@ impl IncrementalContext {
     ///
     /// Bit-identical to `kind` analysed from scratch over
     /// [`IncrementalContext::system`].
-    pub fn analyze(&mut self, kind: AnalysisKind) -> AnalysisReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ConvergenceCap`] if a re-solved flow's
+    /// fixed-point iteration exhausts the solver's safety cap; this kind's
+    /// cache is then marked all-dirty, so a later call (after the offending
+    /// flow is removed) recovers with a full solve.
+    pub fn analyze(&mut self, kind: AnalysisKind) -> Result<AnalysisReport, AnalysisError> {
         let (downstream, jitter) = kind.models();
         let solver = Solver::from_parts(
             &self.system,
@@ -279,7 +291,7 @@ mod tests {
             .zip(crate::analysis::all_analyses())
         {
             let expected = analysis.analyze_with(&scratch).unwrap();
-            assert_eq!(ctx.analyze(*kind), expected, "{}", kind.name());
+            assert_eq!(ctx.analyze(*kind).unwrap(), expected, "{}", kind.name());
         }
     }
 
@@ -315,13 +327,15 @@ mod tests {
     #[test]
     fn admission_roundtrip_restores_reports() {
         let mut ctx = IncrementalContext::new(mesh_system(&SPECS[..4])).unwrap();
-        let before: Vec<AnalysisReport> =
-            AnalysisKind::ALL.iter().map(|&k| ctx.analyze(k)).collect();
+        let before: Vec<AnalysisReport> = AnalysisKind::ALL
+            .iter()
+            .map(|&k| ctx.analyze(k).unwrap())
+            .collect();
         let id = ctx.add_flow(mesh_flow(SPECS[4]), &XyRouting).unwrap();
-        let _ = ctx.analyze(AnalysisKind::BufferAware);
+        let _ = ctx.analyze(AnalysisKind::BufferAware).unwrap();
         ctx.remove_flow(id).unwrap();
         for (&kind, report) in AnalysisKind::ALL.iter().zip(&before) {
-            assert_eq!(&ctx.analyze(kind), report, "{}", kind.name());
+            assert_eq!(&ctx.analyze(kind).unwrap(), report, "{}", kind.name());
         }
     }
 
@@ -348,7 +362,7 @@ mod tests {
         let mut forked = IncrementalContext::from_context(&base);
         let mut fresh = IncrementalContext::new(sys.clone()).unwrap();
         for &kind in &AnalysisKind::ALL {
-            assert_eq!(forked.analyze(kind), fresh.analyze(kind));
+            assert_eq!(forked.analyze(kind).unwrap(), fresh.analyze(kind).unwrap());
         }
     }
 

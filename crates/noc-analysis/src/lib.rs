@@ -65,6 +65,7 @@
 //! | [`context`] | precomputed §III structure shared across analyses (graph from [`noc_model::contention`]) |
 //! | [`report`] | per-flow verdicts/bounds — the `R_*` columns of Table II |
 //! | [`error`] | model-assumption violations surfaced to callers |
+//! | [`metrics`] | solver/cache telemetry (iterations, dirty-bit hit rates) — no-ops unless `NOC_TELEMETRY=1` |
 //!
 //! # Safety ordering
 //!
@@ -81,6 +82,7 @@ pub mod context;
 mod engine;
 pub mod error;
 pub mod incremental;
+pub mod metrics;
 pub mod report;
 
 pub use analysis::{

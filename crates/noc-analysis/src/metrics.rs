@@ -1,0 +1,39 @@
+//! Telemetry surface of the analysis engine.
+//!
+//! All metrics are no-ops unless telemetry is enabled (the `NOC_TELEMETRY`
+//! env var, plus the default-on `telemetry` cargo feature); see
+//! [`noc_telemetry`] for the gating model. Recording never changes any
+//! analysis result — the workspace's `telemetry_neutrality` test pins
+//! bit-identical reports with telemetry on and off.
+
+use noc_telemetry::{Counter, Histogram};
+
+/// Total fixed-point iterations across all solved flows (the inner-loop
+/// work of Equation 5's recurrence).
+pub static SOLVER_ITERATIONS: Counter = Counter::new("analysis.solver.iterations");
+
+/// Flows taken through the fixed-point loop (full and dirty re-solves).
+pub static SOLVER_FLOWS_SOLVED: Counter = Counter::new("analysis.solver.flows_solved");
+
+/// Fixed-point loops aborted by the iteration safety cap. Each hit also
+/// surfaces as [`AnalysisError::ConvergenceCap`](crate::error::AnalysisError).
+pub static SOLVER_CAP_HITS: Counter = Counter::new("analysis.solver.cap_hits");
+
+/// Wall-clock time of whole-report solves (all flows of one analysis),
+/// full and cached alike.
+pub static SOLVE_NS: Histogram = Histogram::new("analysis.solver.solve_ns");
+
+/// Dirty flows re-solved by cached (incremental) solves.
+pub static CACHE_DIRTY_SOLVED: Counter = Counter::new("analysis.cache.dirty_solved");
+
+/// Clean flows whose cached verdict and response time were reused
+/// (republished for lower-priority flows to read) by cached solves.
+pub static CACHE_CLEAN_REUSED: Counter = Counter::new("analysis.cache.clean_reused");
+
+/// Flow-set deltas (additions + removals) applied to incremental contexts.
+pub static INCREMENTAL_DELTAS: Counter = Counter::new("analysis.incremental.deltas");
+
+/// Flows marked dirty by delta application (the size of the touched
+/// interference neighbourhood, summed over deltas; excludes the added
+/// flow itself, which starts dirty).
+pub static INCREMENTAL_FLOWS_DIRTIED: Counter = Counter::new("analysis.incremental.flows_dirtied");

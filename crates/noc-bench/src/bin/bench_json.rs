@@ -154,7 +154,7 @@ fn append_history(path: &str, mode: &str, measurements: &[Measurement]) {
         .collect();
     let line = format!(
         "{{\"schema\": \"noc-bench/history/v1\", \"commit\": {}, \"mode\": \"{}\", \"results\": [{}]}}\n",
-        json_string(&git_commit()),
+        json_string(&noc_telemetry::git_commit()),
         mode,
         results.join(", ")
     );
@@ -167,25 +167,6 @@ fn append_history(path: &str, mode: &str, measurements: &[Measurement]) {
         Ok(()) => println!("appended 1 run to {path}"),
         Err(e) => eprintln!("warning: could not append history to {path}: {e}"),
     }
-}
-
-/// The commit this run measures: `GITHUB_SHA` in CI, `git rev-parse HEAD`
-/// locally, `"unknown"` outside a checkout.
-fn git_commit() -> String {
-    if let Ok(sha) = std::env::var("GITHUB_SHA") {
-        if !sha.is_empty() {
-            return sha;
-        }
-    }
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Minimal JSON string escaping (labels only contain benign characters, but

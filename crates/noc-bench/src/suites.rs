@@ -224,10 +224,10 @@ pub fn bench_admission_serving(c: &mut Criterion, label: &str, system: &System) 
         let mut ctx = IncrementalContext::new(sys.clone()).unwrap();
         // Warm the solve cache: the first analyze pays the full solve that
         // every later delta amortises, exactly like a live server.
-        black_box(ctx.analyze(AnalysisKind::BufferAware));
+        black_box(ctx.analyze(AnalysisKind::BufferAware).unwrap());
         b.iter(|| {
             let id = ctx.add_flow(candidate.clone(), &XyRouting).unwrap();
-            let report = ctx.analyze(AnalysisKind::BufferAware);
+            let report = ctx.analyze(AnalysisKind::BufferAware).unwrap();
             ctx.remove_flow(id).expect("undoing a fresh admission");
             black_box(report)
         })

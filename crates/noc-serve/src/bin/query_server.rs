@@ -5,6 +5,12 @@
 //! through `noc_serve::run_batch`, and prints a single-line JSON throughput
 //! record to stdout (also written to the path in `NOC_SERVE_OUT`, if set).
 //!
+//! With `NOC_TELEMETRY=1` the record additionally carries a `metrics`
+//! block (solver iterations, dirty-bit hit rates, per-query latency
+//! percentiles), and a full dump — including histogram buckets, per-shard
+//! utilization and the structured event log — is written to
+//! `SERVE_metrics.json` (path override: `NOC_SERVE_METRICS`).
+//!
 //! Usage: `query_server [fixture] [n_queries] [threads]`
 //!
 //! * `fixture` — `didactic` (default), `8x8`, or `16x16`
@@ -63,14 +69,17 @@ fn run() -> Result<(), Box<dyn Error>> {
     };
     let report = run_batch(&base, &batch, routing.as_ref(), threads);
     let (accepted, rejected, infeasible) = report.tally();
+    let commit = noc_telemetry::git_commit();
 
-    let json = format!(
+    let mut json = format!(
         concat!(
-            "{{\"schema\": \"noc-serve/throughput/v1\", \"fixture\": \"{}\", ",
+            "{{\"schema\": \"noc-serve/throughput/v1\", \"commit\": \"{}\", ",
+            "\"fixture\": \"{}\", ",
             "\"flows\": {}, \"queries\": {}, \"threads\": {}, \"analysis\": \"{}\", ",
             "\"wall_ns\": {}, \"queries_per_second\": {:.1}, ",
-            "\"accepted\": {}, \"rejected\": {}, \"infeasible\": {}}}"
+            "\"accepted\": {}, \"rejected\": {}, \"infeasible\": {}"
         ),
+        commit,
         fixture,
         system.flows().len(),
         report.outcomes.len(),
@@ -82,10 +91,67 @@ fn run() -> Result<(), Box<dyn Error>> {
         rejected,
         infeasible,
     );
+    if noc_telemetry::enabled() {
+        let snap = noc_telemetry::snapshot();
+        json.push_str(&format!(", \"metrics\": {}", snap.to_inline_json()));
+        write_metrics_dump(&snap, fixture, &commit, &system, &report)?;
+    }
+    json.push('}');
     println!("{json}");
     if let Ok(path) = env::var("NOC_SERVE_OUT") {
         std::fs::write(path, json + "\n")?;
     }
+    Ok(())
+}
+
+/// Writes the full telemetry dump — metrics with histogram buckets,
+/// per-shard utilization, and the drained structured event log — to
+/// `SERVE_metrics.json` (or the path in `NOC_SERVE_METRICS`).
+fn write_metrics_dump(
+    snap: &noc_telemetry::Snapshot,
+    fixture: &str,
+    commit: &str,
+    system: &System,
+    report: &noc_serve::BatchReport,
+) -> Result<(), Box<dyn Error>> {
+    let path = env::var("NOC_SERVE_METRICS").unwrap_or_else(|_| "SERVE_metrics.json".to_string());
+    let utilization: Vec<String> = report
+        .shard_utilization()
+        .iter()
+        .map(|u| format!("{u:.3}"))
+        .collect();
+    let events = noc_telemetry::events::drain();
+    let events_block = if events.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n    {}\n  ]", events.join(",\n    "))
+    };
+    let dump = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"noc-serve/metrics/v1\",\n",
+            "  \"commit\": \"{}\",\n",
+            "  \"fixture\": \"{}\",\n",
+            "  \"flows\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"wall_ns\": {},\n",
+            "  \"shard_utilization\": [{}],\n",
+            "  \"metrics\": {},\n",
+            "  \"events\": {}\n",
+            "}}\n"
+        ),
+        commit,
+        fixture,
+        system.flows().len(),
+        report.outcomes.len(),
+        report.threads,
+        report.wall_ns,
+        utilization.join(", "),
+        snap.to_json_pretty(2),
+        events_block,
+    );
+    std::fs::write(path, dump)?;
     Ok(())
 }
 

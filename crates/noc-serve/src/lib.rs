@@ -43,6 +43,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod metrics;
+
 use std::time::Instant;
 
 use noc_analysis::analysis::AnalysisKind;
@@ -134,6 +136,9 @@ pub struct BatchReport {
     pub wall_ns: u128,
     /// Worker threads used.
     pub threads: usize,
+    /// Time each shard spent serving its chunk, in nanoseconds, in shard
+    /// order — the load-balance picture behind `wall_ns`.
+    pub shard_busy_ns: Vec<u128>,
 }
 
 impl BatchReport {
@@ -143,6 +148,19 @@ impl BatchReport {
             return f64::INFINITY;
         }
         self.outcomes.len() as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    /// Fraction of the batch's wall time each shard spent serving queries,
+    /// in shard order (1.0 ⇔ busy for the whole batch; a low outlier marks
+    /// an under-loaded shard).
+    pub fn shard_utilization(&self) -> Vec<f64> {
+        if self.wall_ns == 0 {
+            return vec![1.0; self.shard_busy_ns.len()];
+        }
+        self.shard_busy_ns
+            .iter()
+            .map(|&b| b as f64 / self.wall_ns as f64)
+            .collect()
     }
 
     /// Counts of (accepted, rejected, infeasible) outcomes.
@@ -177,6 +195,7 @@ impl<'a> Shard<'a> {
         kind: AnalysisKind,
     ) -> Shard<'a> {
         let n = base.len();
+        metrics::CONTEXT_FORKS.incr();
         Shard {
             ctx: IncrementalContext::from_context(base),
             map: (0..n as u32).map(FlowId::new).collect(),
@@ -186,14 +205,21 @@ impl<'a> Shard<'a> {
     }
 
     fn serve(&mut self, base: &AnalysisContext<'_>, query: &Query) -> QueryOutcome {
+        let _span = metrics::QUERY_LATENCY_NS.span();
+        metrics::QUERIES_SERVED.incr();
         match query {
             Query::Admission { flow } => match self.ctx.add_flow(flow.clone(), self.routing) {
                 Ok(id) => {
-                    let report = self.ctx.analyze(self.kind);
+                    let result = self.ctx.analyze(self.kind);
                     self.ctx
                         .remove_flow(id)
                         .expect("the just-admitted flow exists");
-                    QueryOutcome::from_report(&report)
+                    match result {
+                        Ok(report) => QueryOutcome::from_report(&report),
+                        Err(e) => QueryOutcome::Infeasible {
+                            reason: e.to_string(),
+                        },
+                    }
                 }
                 Err(e) => QueryOutcome::Infeasible {
                     reason: e.to_string(),
@@ -209,9 +235,11 @@ impl<'a> Shard<'a> {
                 self.ctx
                     .remove_flow(current)
                     .expect("mapped ids stay in bounds");
-                let report = self.ctx.analyze(self.kind);
-                // Restore: deterministic routing reproduces the original
-                // route, so only the id changes — track it in the map.
+                let result = self.ctx.analyze(self.kind);
+                // Restore before interpreting the verdict (even a failed
+                // solve must not leak a mutated shard): deterministic
+                // routing reproduces the original route, so only the id
+                // changes — track it in the map.
                 let restored = self
                     .ctx
                     .add_flow(flow, self.routing)
@@ -222,17 +250,25 @@ impl<'a> Shard<'a> {
                     }
                 }
                 self.map[id.index()] = restored;
-                QueryOutcome::from_report(&report)
+                match result {
+                    Ok(report) => QueryOutcome::from_report(&report),
+                    Err(e) => QueryOutcome::Infeasible {
+                        reason: e.to_string(),
+                    },
+                }
             }
             Query::BufferWhatIf { depth } => {
                 let what_if = base.system().with_buffer_depth(*depth);
                 match base.rebase(&what_if) {
-                    Ok(ctx) => match self.kind.as_analysis().analyze_with(&ctx) {
-                        Ok(report) => QueryOutcome::from_report(&report),
-                        Err(e) => QueryOutcome::Infeasible {
-                            reason: e.to_string(),
-                        },
-                    },
+                    Ok(ctx) => {
+                        metrics::CONTEXT_REBASES.incr();
+                        match self.kind.as_analysis().analyze_with(&ctx) {
+                            Ok(report) => QueryOutcome::from_report(&report),
+                            Err(e) => QueryOutcome::Infeasible {
+                                reason: e.to_string(),
+                            },
+                        }
+                    }
                     Err(e) => QueryOutcome::Infeasible {
                         reason: e.to_string(),
                     },
@@ -306,20 +342,41 @@ pub fn run_batch(
         })
         .collect();
     let started = Instant::now();
-    let per_shard: Vec<Vec<QueryOutcome>> =
+    let per_shard: Vec<(Vec<QueryOutcome>, u128)> =
         noc_experiments::runner::par_map_indexed(shards, shards, |s| {
             let (lo, hi) = bounds[s];
+            let busy = Instant::now();
             let mut shard = Shard::new(base, routing, batch.analysis);
-            batch.queries[lo..hi]
+            let outcomes: Vec<QueryOutcome> = batch.queries[lo..hi]
                 .iter()
                 .map(|q| shard.serve(base, q))
-                .collect()
+                .collect();
+            (outcomes, busy.elapsed().as_nanos())
         });
     let wall_ns = started.elapsed().as_nanos();
+    metrics::BATCHES.incr();
+    if noc_telemetry::enabled() {
+        noc_telemetry::events::emit(
+            "serve.batch",
+            &[
+                ("analysis", batch.analysis.name().into()),
+                ("queries", (n as u64).into()),
+                ("shards", (shards as u64).into()),
+                ("wall_ns", u64::try_from(wall_ns).unwrap_or(u64::MAX).into()),
+            ],
+        );
+    }
+    let mut outcomes = Vec::with_capacity(n);
+    let mut shard_busy_ns = Vec::with_capacity(shards);
+    for (chunk_outcomes, busy_ns) in per_shard {
+        outcomes.extend(chunk_outcomes);
+        shard_busy_ns.push(busy_ns);
+    }
     BatchReport {
-        outcomes: per_shard.into_iter().flatten().collect(),
+        outcomes,
         wall_ns,
         threads: shards,
+        shard_busy_ns,
     }
 }
 

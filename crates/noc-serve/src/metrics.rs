@@ -1,0 +1,26 @@
+//! Telemetry surface of the serving layer.
+//!
+//! All metrics are no-ops unless telemetry is enabled (the `NOC_TELEMETRY`
+//! env var, plus the default-on `telemetry` cargo feature); see
+//! [`noc_telemetry`] for the gating model. `query_server` folds a snapshot
+//! of these (together with the solver and simulator metrics) into its JSON
+//! record and `SERVE_metrics.json` dump.
+
+use noc_telemetry::{Counter, Histogram};
+
+/// Wall-clock latency of individual queries, across all shards.
+pub static QUERY_LATENCY_NS: Histogram = Histogram::new("serve.query.latency_ns");
+
+/// Queries answered (any outcome).
+pub static QUERIES_SERVED: Counter = Counter::new("serve.queries");
+
+/// Batches evaluated via [`run_batch`](crate::run_batch).
+pub static BATCHES: Counter = Counter::new("serve.batches");
+
+/// Per-thread [`IncrementalContext`](noc_analysis::incremental::IncrementalContext)
+/// forks off the shared base context (one per shard per batch).
+pub static CONTEXT_FORKS: Counter = Counter::new("serve.context_forks");
+
+/// Graph-sharing rebases served for buffer what-ifs
+/// ([`AnalysisContext::rebase`](noc_analysis::context::AnalysisContext::rebase)).
+pub static CONTEXT_REBASES: Counter = Counter::new("serve.context_rebases");

@@ -54,6 +54,7 @@ use noc_model::time::Cycles;
 
 use crate::core::layout::{Candidate, Feeder, SimLayout, EJECT};
 use crate::flit::Flit;
+use crate::metrics;
 use crate::release::ReleasePlan;
 use crate::stats::FlowStats;
 use crate::trace::TraceEvent;
@@ -174,6 +175,11 @@ pub(crate) struct SimCore {
     credit_returns: Vec<u32>,
     /// Snapshot buffer for iterating `armed`/`busy` while mutating them.
     scratch: LinkSet,
+
+    /// Telemetry gate ([`noc_telemetry::enabled`]), cached at construction
+    /// and [`reset`](SimCore::reset) so the per-cycle recording cost is a
+    /// local-bool branch instead of an atomic load per counter.
+    tel: bool,
 }
 
 impl SimCore {
@@ -212,6 +218,7 @@ impl SimCore {
             trace: None,
             credit_returns: Vec::new(),
             scratch: LinkSet::new(layout.n_links),
+            tel: noc_telemetry::enabled(),
         }
     }
 
@@ -246,6 +253,7 @@ impl SimCore {
             tr.clear();
         }
         self.credit_returns.clear();
+        self.tel = noc_telemetry::enabled();
         self.seed_releases(system, plan);
     }
 
@@ -292,6 +300,9 @@ impl SimCore {
 
     /// Advances one flit-clock cycle.
     pub(crate) fn step(&mut self, layout: &SimLayout, system: &System, plan: &ReleasePlan) {
+        if self.tel {
+            metrics::SIM_STEPS.incr();
+        }
         self.changed = false;
         self.release_due(layout, system, plan);
         self.fire_ready(layout);
@@ -318,7 +329,11 @@ impl SimCore {
             (None, None) => limit,
         };
         if next > self.now {
-            self.now = next.min(limit);
+            let target = next.min(limit);
+            if self.tel {
+                metrics::SIM_CYCLES_SKIPPED.add(target - self.now);
+            }
+            self.now = target;
         }
     }
 
@@ -330,6 +345,9 @@ impl SimCore {
                 break;
             }
             self.release_heap.pop();
+            if self.tel {
+                metrics::SIM_RELEASE_POPS.incr();
+            }
             let fi = f as usize;
             let flow = FlowId::new(f);
             let packet = self.src_next_packet[fi];
@@ -361,6 +379,9 @@ impl SimCore {
                 break;
             }
             self.ready_heap.pop();
+            if self.tel {
+                metrics::SIM_READY_POPS.incr();
+            }
             debug_assert!(self.vc_len[vc as usize] > 0, "routed header left its VC");
             self.vc_routed[vc as usize] = true;
             self.armed.insert(layout.vc_out_link[vc as usize]);
@@ -369,8 +390,15 @@ impl SimCore {
     }
 
     /// Can this candidate launch now? Returns the flow and stream position
-    /// of the flit it would send.
-    fn candidate_ready(&self, layout: &SimLayout, cand: Candidate) -> Option<(u32, u64)> {
+    /// of the flit it would send. Sets `credit_blocked` when the candidate
+    /// had a flit ready but no downstream buffer space — the backpressure
+    /// bubble telemetry counts as a credit stall.
+    fn candidate_ready(
+        &self,
+        layout: &SimLayout,
+        cand: Candidate,
+        credit_blocked: &mut bool,
+    ) -> Option<(u32, u64)> {
         let (flow, pos) = match cand.feeder {
             Feeder::Source(f) => {
                 let fi = f as usize;
@@ -391,6 +419,7 @@ impl SimCore {
             }
         };
         if cand.dest != EJECT && self.vc_credits[cand.dest as usize] == 0 {
+            *credit_blocked = true;
             return None; // blocked: no downstream buffer space
         }
         Some((flow, pos))
@@ -417,8 +446,9 @@ impl SimCore {
             return; // mid-transmission (linkl > 1); stays armed
         }
         let mut winner = None;
+        let mut credit_blocked = false;
         for &cand in layout.candidates(li) {
-            if let Some(ready) = self.candidate_ready(layout, cand) {
+            if let Some(ready) = self.candidate_ready(layout, cand, &mut credit_blocked) {
                 winner = Some((cand, ready));
                 break; // candidates are sorted by priority
             }
@@ -427,6 +457,9 @@ impl SimCore {
             // Nothing launchable: disarm. Whatever could change that —
             // a release, a routing completion, a deposit, a credit
             // return — re-arms the link.
+            if self.tel && credit_blocked {
+                metrics::SIM_CREDIT_STALL_CYCLES.incr();
+            }
             self.armed.remove(link);
             return;
         };
@@ -562,6 +595,9 @@ impl SimCore {
                 );
             }
             self.vc_len[vi] += 1;
+            if self.tel {
+                metrics::SIM_VC_OCCUPANCY_HWM.record(u64::from(self.vc_len[vi]));
+            }
         }
     }
 

@@ -42,6 +42,7 @@
 //! | [`search`] | Table II `R^sim` methodology: exhaustive offset sweep and the pruned critical-instant candidate search |
 //! | [`stats`] | per-flow best/worst observed latencies |
 //! | [`trace`] | event traces — `examples/mpb_trace` replays Figure 2's MPB mechanism from these |
+//! | [`metrics`] | kernel telemetry (steps, skipped cycles, credit stalls) — no-ops unless `NOC_TELEMETRY=1` |
 //!
 //! # Architecture: facade over a struct-of-arrays core
 //!
@@ -100,6 +101,7 @@
 pub mod core;
 pub mod engine;
 pub mod flit;
+pub mod metrics;
 pub mod release;
 pub mod search;
 pub mod stats;

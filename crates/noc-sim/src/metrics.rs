@@ -1,0 +1,34 @@
+//! Telemetry surface of the simulation kernel.
+//!
+//! All metrics are no-ops unless telemetry is enabled (the `NOC_TELEMETRY`
+//! env var, plus the default-on `telemetry` cargo feature); see
+//! [`noc_telemetry`] for the gating model. The kernel caches the gate in a
+//! plain bool per core, so the per-cycle cost with telemetry compiled in
+//! but disabled is a handful of predicted local-branch tests. Recording
+//! never changes simulated behaviour — the workspace's
+//! `telemetry_neutrality` test pins bit-identical stats with telemetry on
+//! and off.
+
+use noc_telemetry::{Counter, MaxGauge};
+
+/// Cycles actually stepped (each [`step`](crate::engine::Simulator::step)
+/// of each core).
+pub static SIM_STEPS: Counter = Counter::new("sim.steps");
+
+/// Quiescent cycles skipped by the event-driven fast-forward
+/// (`skip_idle_gap`) instead of being stepped.
+pub static SIM_CYCLES_SKIPPED: Counter = Counter::new("sim.cycles_skipped");
+
+/// Packet releases popped from the release heap.
+pub static SIM_RELEASE_POPS: Counter = Counter::new("sim.release_pops");
+
+/// Routing-completion events popped from the ready heap.
+pub static SIM_READY_POPS: Counter = Counter::new("sim.ready_pops");
+
+/// Arbitration scans of an armed link that found at least one candidate
+/// blocked *solely* on downstream credits — the buffer-backpressure
+/// bubbles behind multi-point progressive blocking.
+pub static SIM_CREDIT_STALL_CYCLES: Counter = Counter::new("sim.credit_stall_cycles");
+
+/// High-water mark of flits buffered in any single virtual channel.
+pub static SIM_VC_OCCUPANCY_HWM: MaxGauge = MaxGauge::new("sim.vc_occupancy_hwm");

@@ -27,7 +27,12 @@
 //! * [`workload`] (`noc-workload`) — the didactic example, the synthetic
 //!   generator and the autonomous-vehicle benchmark (§V–VI);
 //! * [`experiments`] (`noc-experiments`) — harnesses regenerating every
-//!   table and figure.
+//!   table and figure;
+//! * [`serve`] (`noc-serve`) — sharded batch serving of admission-control
+//!   what-if queries over the incremental analysis machinery;
+//! * [`telemetry`] (`noc-telemetry`) — opt-in counters, latency histograms
+//!   and trace events across the solver, simulator and serving layer
+//!   (enable with `NOC_TELEMETRY=1`; zero-cost when off).
 //!
 //! Each sub-crate's docs open with a module map tying its modules to the
 //! paper's equations, figures and tables.
@@ -81,7 +86,9 @@
 pub use noc_analysis as analysis;
 pub use noc_experiments as experiments;
 pub use noc_model as model;
+pub use noc_serve as serve;
 pub use noc_sim as sim;
+pub use noc_telemetry as telemetry;
 pub use noc_workload as workload;
 
 /// One-stop re-exports for applications.

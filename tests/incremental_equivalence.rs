@@ -42,7 +42,7 @@ fn assert_matches_scratch(ctx: &mut IncrementalContext, label: &str, step: usize
     let system = ctx.system().clone();
     let scratch = AnalysisContext::new(&system).expect("mutated system stays analysable");
     for kind in AnalysisKind::ALL {
-        let incremental = ctx.analyze(kind);
+        let incremental = ctx.analyze(kind).expect("incremental analysis succeeds");
         let full = kind
             .as_analysis()
             .analyze_with(&scratch)
