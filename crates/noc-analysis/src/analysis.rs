@@ -10,6 +10,7 @@
 
 use noc_model::system::System;
 
+use crate::budget::Budget;
 use crate::context::AnalysisContext;
 use crate::engine::{DownstreamModel, JitterModel, Solver};
 use crate::error::AnalysisError;
@@ -329,6 +330,31 @@ impl AnalysisKind {
             AnalysisKind::Xlwx => &Xlwx,
             AnalysisKind::BufferAware => &BufferAware,
         }
+    }
+
+    /// [`Analysis::analyze_with`] under a cooperative [`Budget`]: the solver
+    /// polls the budget (once per flow plus every
+    /// [`Budget::POLL_ITERATIONS`] fixed-point iterations) and aborts with
+    /// [`AnalysisError::DeadlineExceeded`] once it is exceeded.
+    ///
+    /// With an [`unlimited`](Budget::unlimited) budget this is bit-identical
+    /// to [`Analysis::analyze_with`] — the polls read a flag nobody sets.
+    /// Serving layers pair this with the conservative fallback of
+    /// [`crate::conservative`] to keep answering under deadline pressure.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DeadlineExceeded`] when the budget expires
+    /// mid-solve, plus the conditions of [`Analysis::analyze_with`].
+    pub fn analyze_with_budget(
+        self,
+        ctx: &AnalysisContext<'_>,
+        budget: &Budget,
+    ) -> Result<AnalysisReport, AnalysisError> {
+        let (downstream, jitter) = self.models();
+        Solver::new(ctx, downstream, jitter)
+            .with_budget(budget)
+            .solve(self.name())
     }
 
     /// The solver configuration of this analysis.

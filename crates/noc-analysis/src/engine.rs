@@ -25,6 +25,7 @@ use noc_model::ids::FlowId;
 use noc_model::system::System;
 use noc_model::time::Cycles;
 
+use crate::budget::Budget;
 use crate::context::AnalysisContext;
 use crate::error::AnalysisError;
 use crate::metrics;
@@ -81,6 +82,11 @@ pub(crate) struct Solver<'a> {
     r: Vec<Option<u128>>,
     /// Memoised `Idown(j,i)` values keyed by the (j, i) pair.
     idown_memo: HashMap<(FlowId, FlowId), u128>,
+    /// Optional cooperative deadline/cancellation token, polled once per
+    /// flow and every [`Budget::POLL_ITERATIONS`] fixed-point iterations.
+    /// With no budget installed the per-iteration overhead is the one
+    /// `Option` discriminant branch.
+    budget: Option<&'a Budget>,
 }
 
 impl<'a> Solver<'a> {
@@ -119,7 +125,15 @@ impl<'a> Solver<'a> {
             c: zero_load,
             r: vec![None; order.len()],
             idown_memo: HashMap::new(),
+            budget: None,
         }
+    }
+
+    /// Installs a cooperative solve budget: the fixed-point loops will
+    /// abort with [`AnalysisError::DeadlineExceeded`] once it expires.
+    pub(crate) fn with_budget(mut self, budget: &'a Budget) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// Runs the analysis over the whole flow set.
@@ -271,6 +285,19 @@ impl<'a> Solver<'a> {
         &mut self,
         i: FlowId,
     ) -> Result<(FlowVerdict, Vec<InterferenceTerm>), AnalysisError> {
+        // Per-flow budget poll: catches an expired budget even when every
+        // individual fixed point converges in a handful of iterations, and
+        // makes a pre-cancelled budget abort deterministically at the first
+        // flow of the solve order.
+        if let Some(budget) = self.budget {
+            if budget.is_exceeded() {
+                metrics::SOLVER_DEADLINE_HITS.incr();
+                return Err(AnalysisError::DeadlineExceeded {
+                    flow: i,
+                    iterations: 0,
+                });
+            }
+        }
         metrics::SOLVER_FLOWS_SOLVED.incr();
         let flow = self.system.flow(i);
         let deadline = u128::from(flow.deadline().as_u64());
@@ -317,6 +344,20 @@ impl<'a> Solver<'a> {
         let mut iterations = 0u64;
         for _ in 0..MAX_ITERATIONS {
             iterations += 1;
+            // Cooperative cancellation: poll the budget's atomic flag (and
+            // clock, while a deadline is pending) every POLL_ITERATIONS
+            // rounds. Without a budget this whole block is one predicted
+            // branch on the cached `Option` discriminant.
+            if let Some(budget) = self.budget {
+                if iterations.is_multiple_of(Budget::POLL_ITERATIONS) && budget.is_exceeded() {
+                    metrics::SOLVER_ITERATIONS.add(iterations);
+                    metrics::SOLVER_DEADLINE_HITS.incr();
+                    return Err(AnalysisError::DeadlineExceeded {
+                        flow: i,
+                        iterations,
+                    });
+                }
+            }
             let mut next = c_i;
             for &(_, t_j, jitter_j, _, charge, _) in &terms {
                 let window = r.saturating_add(jitter_j);

@@ -38,6 +38,18 @@ pub enum AnalysisError {
         /// The (still growing) response-time bound at the last iteration.
         last_bound: Cycles,
     },
+    /// The solve's [`Budget`](crate::budget::Budget) was exceeded — its
+    /// wall-clock deadline passed, or it was cancelled cooperatively from
+    /// another thread — before the fixed point converged. Not a property of
+    /// the system: re-solving with a larger (or no) budget can succeed.
+    /// Serving layers typically answer with the cheap conservative bound
+    /// ([`crate::conservative`]) instead of failing the query.
+    DeadlineExceeded {
+        /// The flow being solved when the budget expired.
+        flow: FlowId,
+        /// Fixed-point iterations spent on that flow before the abort.
+        iterations: u64,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -58,6 +70,13 @@ impl fmt::Display for AnalysisError {
                      safety cap (bound had grown to {last_bound} without converging)"
                 )
             }
+            AnalysisError::DeadlineExceeded { flow, iterations } => {
+                write!(
+                    f,
+                    "solve budget exceeded while bounding {flow} \
+                     (after {iterations} fixed-point iterations on it)"
+                )
+            }
         }
     }
 }
@@ -66,7 +85,9 @@ impl Error for AnalysisError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AnalysisError::Model(e) => Some(e),
-            AnalysisError::ContextMismatch { .. } | AnalysisError::ConvergenceCap { .. } => None,
+            AnalysisError::ContextMismatch { .. }
+            | AnalysisError::ConvergenceCap { .. }
+            | AnalysisError::DeadlineExceeded { .. } => None,
         }
     }
 }

@@ -59,6 +59,7 @@ use noc_model::routing::RoutingAlgorithm;
 use noc_model::system::System;
 
 use crate::analysis::AnalysisKind;
+use crate::budget::Budget;
 use crate::context::AnalysisContext;
 use crate::engine::{SolveCache, Solver};
 use crate::error::AnalysisError;
@@ -227,6 +228,54 @@ impl IncrementalContext {
         solver.solve_cached(kind.name(), &mut self.caches[kind.index()])
     }
 
+    /// [`IncrementalContext::analyze`] under a cooperative [`Budget`]: the
+    /// solver polls the budget and aborts once it is exceeded, so serving
+    /// layers can bound the wall-clock cost of a single query.
+    ///
+    /// With an [`unlimited`](Budget::unlimited) budget this is bit-identical
+    /// to [`IncrementalContext::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::DeadlineExceeded`] when the budget expires
+    /// mid-solve, plus the conditions of [`IncrementalContext::analyze`].
+    /// On any error this kind's cache is marked all-dirty, so a later call
+    /// (with a fresh budget) recovers with a full solve — pinned by the
+    /// `incremental_equivalence` integration test.
+    pub fn analyze_with_budget(
+        &mut self,
+        kind: AnalysisKind,
+        budget: &Budget,
+    ) -> Result<AnalysisReport, AnalysisError> {
+        let (downstream, jitter) = kind.models();
+        let solver = Solver::from_parts(
+            &self.system,
+            &self.graph,
+            &self.priority_order,
+            &self.zero_load,
+            downstream,
+            jitter,
+        )
+        .with_budget(budget);
+        solver.solve_cached(kind.name(), &mut self.caches[kind.index()])
+    }
+
+    /// The cheap, non-iterative conservative bound over the current flow
+    /// set — the degraded-mode answer when
+    /// [`IncrementalContext::analyze_with_budget`] runs out of budget (see
+    /// [`crate::conservative`] for the bound and its soundness argument).
+    ///
+    /// Total (never fails), does not touch the solve caches, and does not
+    /// depend on them: it reads only the incrementally maintained structure.
+    pub fn conservative_report(&self) -> AnalysisReport {
+        crate::conservative::conservative_from_parts(
+            &self.system,
+            &self.graph,
+            &self.priority_order,
+            &self.zero_load,
+        )
+    }
+
     /// The current system.
     pub fn system(&self) -> &System {
         &self.system
@@ -364,6 +413,47 @@ mod tests {
         for &kind in &AnalysisKind::ALL {
             assert_eq!(forked.analyze(kind).unwrap(), fresh.analyze(kind).unwrap());
         }
+    }
+
+    #[test]
+    fn budgeted_analysis_matches_unbudgeted_and_recovers() {
+        let mut ctx = IncrementalContext::new(mesh_system(&SPECS)).unwrap();
+        let clean = ctx.analyze(AnalysisKind::BufferAware).unwrap();
+
+        // An unlimited budget is bit-identical to no budget.
+        let mut unbudgeted = IncrementalContext::new(mesh_system(&SPECS)).unwrap();
+        assert_eq!(
+            unbudgeted
+                .analyze_with_budget(AnalysisKind::BufferAware, &Budget::unlimited())
+                .unwrap(),
+            clean
+        );
+
+        // A pre-expired budget aborts with the structured deadline error …
+        let mut starved = IncrementalContext::new(mesh_system(&SPECS)).unwrap();
+        let err = starved
+            .analyze_with_budget(
+                AnalysisKind::BufferAware,
+                &Budget::with_deadline(std::time::Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::DeadlineExceeded { .. }));
+
+        // … the conservative fallback still answers, bounding every clean R …
+        let degraded = starved.conservative_report();
+        for (id, v) in clean.iter() {
+            if let Some(r) = v.response_time() {
+                let b = match degraded.verdict(id) {
+                    crate::report::FlowVerdict::Schedulable { response_time } => response_time,
+                    crate::report::FlowVerdict::DeadlineMiss { exceeded_at } => exceeded_at,
+                    other => panic!("conservative produced {other:?}"),
+                };
+                assert!(b >= r, "degraded bound {b} below exact {r} for {id}");
+            }
+        }
+
+        // … and a later solve with a fresh (absent) budget fully recovers.
+        assert_eq!(starved.analyze(AnalysisKind::BufferAware).unwrap(), clean);
     }
 
     #[test]

@@ -65,6 +65,8 @@
 //! | [`context`] | precomputed §III structure shared across analyses (graph from [`noc_model::contention`]) |
 //! | [`report`] | per-flow verdicts/bounds — the `R_*` columns of Table II |
 //! | [`error`] | model-assumption violations surfaced to callers |
+//! | [`budget`] | cooperative solve deadlines/cancellation polled by the engine |
+//! | [`conservative`] | non-iterative conservative bound — the degraded-mode fallback |
 //! | [`metrics`] | solver/cache telemetry (iterations, dirty-bit hit rates) — no-ops unless `NOC_TELEMETRY=1` |
 //!
 //! # Safety ordering
@@ -78,6 +80,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod budget;
+pub mod conservative;
 pub mod context;
 mod engine;
 pub mod error;
@@ -88,6 +92,8 @@ pub mod report;
 pub use analysis::{
     all_analyses, Analysis, AnalysisKind, BufferAware, NoIndirect, ShiBurns, XiongOriginal, Xlwx,
 };
+pub use budget::Budget;
+pub use conservative::conservative_with;
 pub use context::AnalysisContext;
 pub use error::AnalysisError;
 pub use incremental::{Delta, IncrementalContext};
@@ -99,6 +105,8 @@ pub mod prelude {
         all_analyses, Analysis, AnalysisKind, BufferAware, NoIndirect, ShiBurns, XiongOriginal,
         Xlwx,
     };
+    pub use crate::budget::Budget;
+    pub use crate::conservative::conservative_with;
     pub use crate::context::AnalysisContext;
     pub use crate::error::AnalysisError;
     pub use crate::incremental::{Delta, IncrementalContext};

@@ -19,6 +19,16 @@ pub static SOLVER_FLOWS_SOLVED: Counter = Counter::new("analysis.solver.flows_so
 /// surfaces as [`AnalysisError::ConvergenceCap`](crate::error::AnalysisError).
 pub static SOLVER_CAP_HITS: Counter = Counter::new("analysis.solver.cap_hits");
 
+/// Solves aborted because their [`Budget`](crate::budget::Budget) expired
+/// (wall-clock deadline or cooperative cancellation). Each hit also
+/// surfaces as
+/// [`AnalysisError::DeadlineExceeded`](crate::error::AnalysisError).
+pub static SOLVER_DEADLINE_HITS: Counter = Counter::new("analysis.solver.deadline_hits");
+
+/// Conservative (non-iterative) bound computations served, typically as
+/// the degraded fallback after a deadline or convergence failure.
+pub static CONSERVATIVE_SOLVES: Counter = Counter::new("analysis.conservative.solves");
+
 /// Wall-clock time of whole-report solves (all flows of one analysis),
 /// full and cached alike.
 pub static SOLVE_NS: Histogram = Histogram::new("analysis.solver.solve_ns");

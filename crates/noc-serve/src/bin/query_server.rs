@@ -2,14 +2,25 @@
 //!
 //! Builds one of the named fixtures, synthesises a deterministic mix of
 //! admission / removal / buffer what-if queries against it, serves them
-//! through `noc_serve::run_batch`, and prints a single-line JSON throughput
-//! record to stdout (also written to the path in `NOC_SERVE_OUT`, if set).
+//! through `noc_serve::run_batch_with`, and prints a single-line JSON
+//! throughput record to stdout (also written to the path in
+//! `NOC_SERVE_OUT`, if set). Any startup or serving error prints a
+//! single-line JSON error record (`noc-serve/error/v1`) to stdout and
+//! exits nonzero — the process never dies on an unwrap.
 //!
 //! With `NOC_TELEMETRY=1` the record additionally carries a `metrics`
 //! block (solver iterations, dirty-bit hit rates, per-query latency
 //! percentiles), and a full dump — including histogram buckets, per-shard
 //! utilization and the structured event log — is written to
 //! `SERVE_metrics.json` (path override: `NOC_SERVE_METRICS`).
+//!
+//! The serving policy comes from the environment (see
+//! [`ServeOptions::try_from_env`] — a set-but-malformed variable is an
+//! error record, not a silently-applied default): `NOC_SERVE_DEADLINE_MS`
+//! (per-query solve
+//! budget, degraded conservative answers past it), `NOC_SERVE_MAX_PENDING`
+//! (load shedding), and `NOC_FAULT_SEED` / `NOC_FAULT_RATE` (deterministic
+//! chaos injection — the CI smoke run drives this).
 //!
 //! Usage: `query_server [fixture] [n_queries] [threads]`
 //!
@@ -22,7 +33,7 @@ use std::error::Error;
 
 use noc_analysis::prelude::*;
 use noc_model::prelude::*;
-use noc_serve::{default_threads, run_batch, sample_queries, QueryBatch};
+use noc_serve::{default_threads, run_batch_with, sample_queries, QueryBatch, ServeOptions};
 use noc_workload::didactic;
 use noc_workload::synthetic::SyntheticSpec;
 
@@ -49,6 +60,22 @@ fn build_fixture(name: &str) -> Result<(System, Box<dyn RoutingAlgorithm + Sync>
     }
 }
 
+/// Keeps injected-fault panics (which the serving layer catches and
+/// retries) from spraying the default hook's backtrace noise over the
+/// JSON output stream. Real panics still print.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected fault:"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = env::args().skip(1).collect();
     let fixture = args.first().map(String::as_str).unwrap_or("didactic");
@@ -60,6 +87,10 @@ fn run() -> Result<(), Box<dyn Error>> {
         Some(s) => s.parse()?,
         None => default_threads(),
     };
+    let options = ServeOptions::try_from_env()?;
+    if options.faults.is_some() {
+        quiet_injected_panics();
+    }
 
     let (system, routing) = build_fixture(fixture)?;
     let base = AnalysisContext::new(&system)?;
@@ -67,8 +98,8 @@ fn run() -> Result<(), Box<dyn Error>> {
         analysis: AnalysisKind::BufferAware,
         queries: sample_queries(&system, n_queries),
     };
-    let report = run_batch(&base, &batch, routing.as_ref(), threads);
-    let (accepted, rejected, infeasible) = report.tally();
+    let report = run_batch_with(&base, &batch, routing.as_ref(), threads, &options);
+    let tally = report.tally();
     let commit = noc_telemetry::git_commit();
 
     let mut json = format!(
@@ -77,7 +108,8 @@ fn run() -> Result<(), Box<dyn Error>> {
             "\"fixture\": \"{}\", ",
             "\"flows\": {}, \"queries\": {}, \"threads\": {}, \"analysis\": \"{}\", ",
             "\"wall_ns\": {}, \"queries_per_second\": {:.1}, ",
-            "\"accepted\": {}, \"rejected\": {}, \"infeasible\": {}"
+            "\"accepted\": {}, \"rejected\": {}, \"infeasible\": {}, ",
+            "\"degraded\": {}, \"shed\": {}, \"failed\": {}"
         ),
         commit,
         fixture,
@@ -87,10 +119,16 @@ fn run() -> Result<(), Box<dyn Error>> {
         batch.analysis.name(),
         report.wall_ns,
         report.queries_per_second(),
-        accepted,
-        rejected,
-        infeasible,
+        tally.accepted,
+        tally.rejected,
+        tally.infeasible,
+        tally.degraded,
+        tally.shed,
+        tally.failed,
     );
+    if let Some(plan) = &options.faults {
+        json.push_str(&format!(", \"fault_seed\": {}", plan.seed()));
+    }
     if noc_telemetry::enabled() {
         let snap = noc_telemetry::snapshot();
         json.push_str(&format!(", \"metrics\": {}", snap.to_inline_json()));
@@ -155,8 +193,24 @@ fn write_metrics_dump(
     Ok(())
 }
 
+/// One-line JSON error record, so downstream tooling parsing stdout never
+/// sees a half-written throughput record or a bare panic trace.
+fn emit_error_record(e: &dyn Error) {
+    let detail: String = e
+        .to_string()
+        .chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect();
+    println!("{{\"schema\": \"noc-serve/error/v1\", \"error\": \"{detail}\"}}");
+}
+
 fn main() {
     if let Err(e) = run() {
+        emit_error_record(e.as_ref());
         eprintln!("query_server: {e}");
         std::process::exit(1);
     }

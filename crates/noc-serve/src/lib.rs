@@ -39,22 +39,61 @@
 //! Queries are sharded across threads in contiguous chunks via
 //! `par_map_indexed`; outcomes come back in submission order regardless of
 //! scheduling.
+//!
+//! # Fault tolerance
+//!
+//! [`run_batch_with`] hardens the same pipeline for serving under duress;
+//! every query ends in **exactly one terminal [`QueryOutcome`]**, whatever
+//! fails along the way:
+//!
+//! * **Validation** — malformed queries (unknown flow id, clashing
+//!   priority, zero period/payload/depth) are rejected up front as
+//!   [`QueryOutcome::Failed`] with [`ServeError::InvalidQuery`], before any
+//!   solver work.
+//! * **Deadlines and degradation** — with [`ServeOptions::deadline`] set,
+//!   each solve runs under a cooperative [`Budget`]; when it expires (or
+//!   the fixed point trips the convergence cap) the query still answers,
+//!   as [`QueryOutcome::Degraded`] computed from the cheap conservative
+//!   bound of [`noc_analysis::conservative`] — never optimistic, pinned by
+//!   the `chaos_serving` integration test.
+//! * **Isolation and retry** — each serve attempt runs inside
+//!   `catch_unwind`; a panicking worker poisons only its own shard, which
+//!   is re-forked from the shared base, and the query is retried with
+//!   bounded backoff ([`ServeOptions::max_retries`]) before surfacing as
+//!   [`ServeError::Panicked`].
+//! * **Load shedding** — with [`ServeOptions::max_pending`] set, queries
+//!   beyond the bound answer [`QueryOutcome::Shed`] without being served
+//!   (deterministic in the batch index, so thread-count invariant).
+//! * **Fault injection** — a seeded [`fault::FaultPlan`] deterministically
+//!   injects panics, delays and solver-budget cancellations at query
+//!   granularity, driving the chaos tests and the CI smoke run.
+//!
+//! With [`ServeOptions::default`] (no deadline, no shedding, no faults)
+//! [`run_batch_with`] is bit-identical to [`run_batch`], which delegates to
+//! it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod metrics;
 
-use std::time::Instant;
+use std::env;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use noc_analysis::analysis::AnalysisKind;
+use noc_analysis::budget::Budget;
 use noc_analysis::context::AnalysisContext;
+use noc_analysis::error::AnalysisError;
 use noc_analysis::incremental::IncrementalContext;
 use noc_analysis::report::AnalysisReport;
 pub use noc_experiments::runner::default_threads;
 use noc_model::flow::Flow;
 use noc_model::ids::FlowId;
 use noc_model::routing::RoutingAlgorithm;
+
+use crate::fault::{Fault, FaultPlan};
 
 /// One admission-control what-if against the batch's base system.
 #[derive(Debug, Clone)]
@@ -91,7 +130,62 @@ pub struct QueryBatch {
     pub queries: Vec<Query>,
 }
 
-/// The verdict of one query.
+/// Why a query answered with a conservative [`QueryOutcome::Degraded`]
+/// verdict instead of an exact one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The solve's wall-clock [`Budget`] expired (or was cancelled) before
+    /// the fixed point converged.
+    DeadlineExceeded,
+    /// The fixed-point iteration exhausted the solver's convergence safety
+    /// cap.
+    ConvergenceCap,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            DegradeReason::ConvergenceCap => write!(f, "convergence cap"),
+        }
+    }
+}
+
+/// A terminal serving failure — the query could not be answered, exactly
+/// and degradedly alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The query failed batch validation and was never served.
+    InvalidQuery {
+        /// What is malformed about the query.
+        reason: String,
+    },
+    /// Every serve attempt (including retries against a re-forked shard)
+    /// panicked.
+    Panicked {
+        /// The panic message of the last attempt.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            ServeError::Panicked { detail } => {
+                write!(f, "query panicked on every attempt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The verdict of one query. Every served query gets exactly one of these;
+/// [`Accepted`](QueryOutcome::Accepted),
+/// [`Rejected`](QueryOutcome::Rejected) and
+/// [`Infeasible`](QueryOutcome::Infeasible) are exact answers, the rest are
+/// the fault-tolerance surface of [`run_batch_with`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryOutcome {
     /// The what-if system is schedulable under the batch's analysis.
@@ -109,11 +203,30 @@ pub enum QueryOutcome {
         /// Human-readable cause.
         reason: String,
     },
+    /// The exact solve ran out of budget (or hit the convergence cap), so
+    /// the answer comes from the *conservative* non-iterative bound: never
+    /// optimistic — `failing == 0` guarantees the exact analysis would
+    /// accept too, and a nonzero count may include flows an exact solve
+    /// would clear.
+    Degraded {
+        /// Why the exact solve was abandoned.
+        reason: DegradeReason,
+        /// Flows the conservative bound cannot certify.
+        failing: u32,
+    },
+    /// Load-shed unserved: the query's batch index exceeded
+    /// [`ServeOptions::max_pending`].
+    Shed,
+    /// Terminal failure — validation rejection or exhausted retries.
+    Failed {
+        /// What went wrong.
+        error: ServeError,
+    },
 }
 
 impl QueryOutcome {
     fn from_report(report: &AnalysisReport) -> QueryOutcome {
-        let failing = report.iter().filter(|(_, v)| !v.is_schedulable()).count() as u32;
+        let failing = failing_count(report);
         if failing == 0 {
             QueryOutcome::Accepted
         } else {
@@ -125,6 +238,27 @@ impl QueryOutcome {
     pub fn is_accepted(&self) -> bool {
         matches!(self, QueryOutcome::Accepted)
     }
+}
+
+fn failing_count(report: &AnalysisReport) -> u32 {
+    report.iter().filter(|(_, v)| !v.is_schedulable()).count() as u32
+}
+
+/// Outcome counts of one batch, one field per [`QueryOutcome`] variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// [`QueryOutcome::Accepted`] answers.
+    pub accepted: usize,
+    /// [`QueryOutcome::Rejected`] answers.
+    pub rejected: usize,
+    /// [`QueryOutcome::Infeasible`] answers.
+    pub infeasible: usize,
+    /// [`QueryOutcome::Degraded`] answers.
+    pub degraded: usize,
+    /// [`QueryOutcome::Shed`] answers.
+    pub shed: usize,
+    /// [`QueryOutcome::Failed`] answers.
+    pub failed: usize,
 }
 
 /// Outcomes and throughput of one [`run_batch`] call.
@@ -163,17 +297,170 @@ impl BatchReport {
             .collect()
     }
 
-    /// Counts of (accepted, rejected, infeasible) outcomes.
-    pub fn tally(&self) -> (usize, usize, usize) {
-        let mut t = (0, 0, 0);
+    /// Outcome counts, one field per variant.
+    pub fn tally(&self) -> OutcomeTally {
+        let mut t = OutcomeTally::default();
         for o in &self.outcomes {
             match o {
-                QueryOutcome::Accepted => t.0 += 1,
-                QueryOutcome::Rejected { .. } => t.1 += 1,
-                QueryOutcome::Infeasible { .. } => t.2 += 1,
+                QueryOutcome::Accepted => t.accepted += 1,
+                QueryOutcome::Rejected { .. } => t.rejected += 1,
+                QueryOutcome::Infeasible { .. } => t.infeasible += 1,
+                QueryOutcome::Degraded { .. } => t.degraded += 1,
+                QueryOutcome::Shed => t.shed += 1,
+                QueryOutcome::Failed { .. } => t.failed += 1,
             }
         }
         t
+    }
+}
+
+/// Serving policy for [`run_batch_with`]: deadlines, shedding, retries and
+/// fault injection. [`ServeOptions::default`] disables all four, making
+/// [`run_batch_with`] bit-identical to [`run_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Per-query wall-clock solve budget. `None` (default) solves without
+    /// any budget — the solver's fast path, one cached branch per
+    /// iteration.
+    pub deadline: Option<Duration>,
+    /// Bounded pending-queue depth: queries with batch index `>= max_pending`
+    /// are shed as [`QueryOutcome::Shed`] without being served. `None`
+    /// (default) serves everything.
+    pub max_pending: Option<usize>,
+    /// Retries after a caught worker panic (the shard is re-forked before
+    /// each retry, with bounded doubling backoff). Default 2.
+    pub max_retries: u32,
+    /// Deterministic fault injection plan; `None` (default) injects
+    /// nothing.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            deadline: None,
+            max_pending: None,
+            max_retries: 2,
+            faults: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Reads the serving policy from the environment:
+    ///
+    /// * `NOC_SERVE_DEADLINE_MS` — per-query solve budget in milliseconds;
+    /// * `NOC_SERVE_MAX_PENDING` — pending-queue bound (shed beyond it);
+    /// * `NOC_FAULT_SEED` / `NOC_FAULT_RATE` — fault injection (see
+    ///   [`FaultPlan::from_env`]).
+    ///
+    /// Unset or unparsable variables leave the corresponding default
+    /// (lenient); front-ends that should fail loudly on misconfiguration
+    /// use [`ServeOptions::try_from_env`].
+    pub fn from_env() -> ServeOptions {
+        let parse_u64 = |name: &str| {
+            env::var(name)
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+        };
+        ServeOptions {
+            deadline: parse_u64("NOC_SERVE_DEADLINE_MS").map(Duration::from_millis),
+            max_pending: parse_u64("NOC_SERVE_MAX_PENDING").map(|n| n as usize),
+            faults: FaultPlan::from_env(),
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Strict variant of [`ServeOptions::from_env`]: a variable that is
+    /// set but unparsable is an `Err` naming it, not a silently-applied
+    /// default.
+    pub fn try_from_env() -> Result<ServeOptions, String> {
+        let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+            match env::var(name) {
+                Err(_) => Ok(None),
+                Ok(s) => s
+                    .trim()
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|e| format!("invalid {name} {s:?}: {e}")),
+            }
+        };
+        Ok(ServeOptions {
+            deadline: parse_u64("NOC_SERVE_DEADLINE_MS")?.map(Duration::from_millis),
+            max_pending: parse_u64("NOC_SERVE_MAX_PENDING")?.map(|n| n as usize),
+            faults: FaultPlan::try_from_env()?,
+            ..ServeOptions::default()
+        })
+    }
+}
+
+/// Checks one query against the base system before any serving work.
+/// Returns the rejection reason for malformed queries.
+fn validate(base: &AnalysisContext<'_>, query: &Query) -> Option<String> {
+    match query {
+        Query::Admission { flow } => {
+            if flow.period().as_u64() == 0 {
+                return Some("admission candidate has a zero period".to_string());
+            }
+            if flow.deadline().as_u64() == 0 {
+                return Some("admission candidate has a zero deadline".to_string());
+            }
+            if flow.length_flits() == 0 {
+                return Some("admission candidate has a zero-flit payload".to_string());
+            }
+            if flow.source() == flow.dest() {
+                return Some(format!(
+                    "admission candidate routes {} to itself",
+                    flow.source()
+                ));
+            }
+            let system = base.system();
+            system
+                .flows()
+                .ids()
+                .find(|&id| system.flow(id).priority() == flow.priority())
+                .map(|clash| {
+                    format!("admission candidate duplicates the priority of base flow {clash}")
+                })
+        }
+        Query::Removal { id } => {
+            (id.index() >= base.len()).then(|| format!("no flow {id} in the base system"))
+        }
+        Query::BufferWhatIf { depth } => {
+            (*depth == 0).then(|| "buffer what-if depth must be at least 1 flit".to_string())
+        }
+    }
+}
+
+/// How a query will be handled, decided up front on the submitting thread
+/// so the decision is independent of sharding.
+enum Disposition {
+    Serve,
+    Shed,
+    Invalid(String),
+}
+
+/// Maps a solve result to an outcome, answering budget/convergence
+/// failures with the conservative bound produced by `conservative`
+/// (invoked only on the degraded path).
+fn outcome_of(
+    result: Result<AnalysisReport, AnalysisError>,
+    conservative: impl FnOnce() -> AnalysisReport,
+) -> QueryOutcome {
+    let reason = match result {
+        Ok(report) => return QueryOutcome::from_report(&report),
+        Err(AnalysisError::DeadlineExceeded { .. }) => DegradeReason::DeadlineExceeded,
+        Err(AnalysisError::ConvergenceCap { .. }) => DegradeReason::ConvergenceCap,
+        Err(e) => {
+            return QueryOutcome::Infeasible {
+                reason: e.to_string(),
+            }
+        }
+    };
+    metrics::DEGRADED.incr();
+    QueryOutcome::Degraded {
+        reason,
+        failing: failing_count(&conservative()),
     }
 }
 
@@ -204,22 +491,35 @@ impl<'a> Shard<'a> {
         }
     }
 
-    fn serve(&mut self, base: &AnalysisContext<'_>, query: &Query) -> QueryOutcome {
+    /// Runs the batch's analysis over the shard's current flow set, under
+    /// `budget` if one is installed.
+    fn analyze(&mut self, budget: Option<&Budget>) -> Result<AnalysisReport, AnalysisError> {
+        match budget {
+            Some(budget) => self.ctx.analyze_with_budget(self.kind, budget),
+            None => self.ctx.analyze(self.kind),
+        }
+    }
+
+    fn serve(
+        &mut self,
+        base: &AnalysisContext<'_>,
+        query: &Query,
+        budget: Option<&Budget>,
+    ) -> QueryOutcome {
         let _span = metrics::QUERY_LATENCY_NS.span();
         metrics::QUERIES_SERVED.incr();
         match query {
             Query::Admission { flow } => match self.ctx.add_flow(flow.clone(), self.routing) {
                 Ok(id) => {
-                    let result = self.ctx.analyze(self.kind);
+                    let result = self.analyze(budget);
+                    // Interpret before rolling back: the degraded path reads
+                    // the conservative bound of the system *with* the
+                    // candidate admitted.
+                    let outcome = outcome_of(result, || self.ctx.conservative_report());
                     self.ctx
                         .remove_flow(id)
                         .expect("the just-admitted flow exists");
-                    match result {
-                        Ok(report) => QueryOutcome::from_report(&report),
-                        Err(e) => QueryOutcome::Infeasible {
-                            reason: e.to_string(),
-                        },
-                    }
+                    outcome
                 }
                 Err(e) => QueryOutcome::Infeasible {
                     reason: e.to_string(),
@@ -235,11 +535,13 @@ impl<'a> Shard<'a> {
                 self.ctx
                     .remove_flow(current)
                     .expect("mapped ids stay in bounds");
-                let result = self.ctx.analyze(self.kind);
-                // Restore before interpreting the verdict (even a failed
-                // solve must not leak a mutated shard): deterministic
-                // routing reproduces the original route, so only the id
-                // changes — track it in the map.
+                let result = self.analyze(budget);
+                // Interpret before restoring (the degraded bound describes
+                // the retired-flow system); restore before returning (even
+                // a failed solve must not leak a mutated shard).
+                let outcome = outcome_of(result, || self.ctx.conservative_report());
+                // Deterministic routing reproduces the original route, so
+                // only the id changes — track it in the map.
                 let restored = self
                     .ctx
                     .add_flow(flow, self.routing)
@@ -250,28 +552,113 @@ impl<'a> Shard<'a> {
                     }
                 }
                 self.map[id.index()] = restored;
-                match result {
-                    Ok(report) => QueryOutcome::from_report(&report),
-                    Err(e) => QueryOutcome::Infeasible {
-                        reason: e.to_string(),
-                    },
-                }
+                outcome
             }
             Query::BufferWhatIf { depth } => {
                 let what_if = base.system().with_buffer_depth(*depth);
                 match base.rebase(&what_if) {
                     Ok(ctx) => {
                         metrics::CONTEXT_REBASES.incr();
-                        match self.kind.as_analysis().analyze_with(&ctx) {
-                            Ok(report) => QueryOutcome::from_report(&report),
-                            Err(e) => QueryOutcome::Infeasible {
-                                reason: e.to_string(),
-                            },
-                        }
+                        let result = match budget {
+                            Some(budget) => self.kind.analyze_with_budget(&ctx, budget),
+                            None => self.kind.as_analysis().analyze_with(&ctx),
+                        };
+                        outcome_of(result, || noc_analysis::conservative_with(&ctx))
                     }
                     Err(e) => QueryOutcome::Infeasible {
                         reason: e.to_string(),
                     },
+                }
+            }
+        }
+    }
+}
+
+/// Bounded doubling backoff between retries: 1, 2, 4, then 8 ms flat.
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_millis(1u64 << attempt.min(3))
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Serves one query inside the isolation boundary: fault injection, panic
+/// capture, shard re-fork and bounded retry. Always returns a terminal
+/// outcome.
+fn serve_isolated(
+    shard: &mut Shard<'_>,
+    base: &AnalysisContext<'_>,
+    query: &Query,
+    index: usize,
+    options: &ServeOptions,
+) -> QueryOutcome {
+    let mut attempt = 0u32;
+    loop {
+        let fault = options
+            .faults
+            .map_or(Fault::None, |plan| plan.fault_for(index, attempt));
+        if fault != Fault::None {
+            metrics::FAULTS_INJECTED.incr();
+            if noc_telemetry::enabled() {
+                noc_telemetry::events::emit(
+                    "serve.fault",
+                    &[
+                        ("kind", fault.name().into()),
+                        ("query", (index as u64).into()),
+                        ("attempt", u64::from(attempt).into()),
+                    ],
+                );
+            }
+        }
+        // The budget is created before any injected delay, so a slow worker
+        // genuinely eats into its own deadline.
+        let budget = match (fault, options.deadline) {
+            (Fault::CancelSolve, _) => {
+                let budget = Budget::unlimited();
+                budget.cancel();
+                Some(budget)
+            }
+            (_, Some(limit)) => Some(Budget::with_deadline(limit)),
+            (_, None) => None,
+        };
+        if let Fault::Delay { ms } = fault {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let inject_panic = matches!(fault, Fault::Panic { .. });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault: panic serving query {index} (attempt {attempt})");
+            }
+            shard.serve(base, query, budget.as_ref())
+        }));
+        match result {
+            Ok(outcome) => return outcome,
+            Err(payload) => {
+                metrics::PANICS_CAUGHT.incr();
+                // The unwound serve may have left the shard mid-mutation
+                // (flow admitted but not rolled back): re-fork from the
+                // shared base rather than trusting poisoned state.
+                metrics::SHARD_REBUILDS.incr();
+                *shard = Shard::new(base, shard.routing, shard.kind);
+                if attempt < options.max_retries {
+                    metrics::RETRIES.incr();
+                    std::thread::sleep(backoff(attempt));
+                    attempt += 1;
+                } else {
+                    metrics::FAILED.incr();
+                    return QueryOutcome::Failed {
+                        error: ServeError::Panicked {
+                            detail: panic_detail(payload.as_ref()),
+                        },
+                    };
                 }
             }
         }
@@ -309,6 +696,9 @@ pub fn sample_queries(system: &noc_model::system::System, n: usize) -> Vec<Query
 /// Evaluates `batch` against the system of `base`, sharding the queries
 /// over `threads` worker threads.
 ///
+/// Equivalent to [`run_batch_with`] under [`ServeOptions::default`]: no
+/// deadlines, no shedding, no fault injection.
+///
 /// Each shard serves a contiguous chunk of the batch so outcomes return in
 /// submission order. Worker state is forked from `base` (see the
 /// [module docs](self) for the dedup structure); the base context itself is
@@ -327,8 +717,47 @@ pub fn run_batch(
     routing: &(dyn RoutingAlgorithm + Sync),
     threads: usize,
 ) -> BatchReport {
+    run_batch_with(base, batch, routing, threads, &ServeOptions::default())
+}
+
+/// [`run_batch`] under an explicit serving policy: per-query deadlines
+/// with conservative degradation, panic isolation with shard re-forking
+/// and bounded retry, load shedding, and deterministic fault injection.
+/// See the *Fault tolerance* section of the [module docs](self).
+///
+/// Every query maps to exactly one terminal [`QueryOutcome`]; the call
+/// itself never panics on a worker failure.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_batch_with(
+    base: &AnalysisContext<'_>,
+    batch: &QueryBatch,
+    routing: &(dyn RoutingAlgorithm + Sync),
+    threads: usize,
+    options: &ServeOptions,
+) -> BatchReport {
     assert!(threads > 0, "need at least one worker thread");
     let n = batch.queries.len();
+    // Validation and shedding decisions happen up front, on the submitting
+    // thread, in submission order — deterministic in the batch alone.
+    let dispositions: Vec<Disposition> = batch
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, query)| {
+            if let Some(reason) = validate(base, query) {
+                metrics::INVALID.incr();
+                Disposition::Invalid(reason)
+            } else if options.max_pending.is_some_and(|cap| i >= cap) {
+                metrics::SHED.incr();
+                Disposition::Shed
+            } else {
+                Disposition::Serve
+            }
+        })
+        .collect();
     let shards = threads.min(n.max(1));
     // Contiguous chunks, the first `n % shards` one longer.
     let chunk = n / shards;
@@ -347,9 +776,18 @@ pub fn run_batch(
             let (lo, hi) = bounds[s];
             let busy = Instant::now();
             let mut shard = Shard::new(base, routing, batch.analysis);
-            let outcomes: Vec<QueryOutcome> = batch.queries[lo..hi]
-                .iter()
-                .map(|q| shard.serve(base, q))
+            let outcomes: Vec<QueryOutcome> = (lo..hi)
+                .map(|i| match &dispositions[i] {
+                    Disposition::Invalid(reason) => QueryOutcome::Failed {
+                        error: ServeError::InvalidQuery {
+                            reason: reason.clone(),
+                        },
+                    },
+                    Disposition::Shed => QueryOutcome::Shed,
+                    Disposition::Serve => {
+                        serve_isolated(&mut shard, base, &batch.queries[i], i, options)
+                    }
+                })
                 .collect();
             (outcomes, busy.elapsed().as_nanos())
         });
@@ -462,38 +900,52 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_queries_are_reported_not_fatal() {
+    fn malformed_queries_fail_validation_not_the_batch() {
         let sys = base_system();
         let base = AnalysisContext::new(&sys).unwrap();
         let batch = QueryBatch {
             analysis: AnalysisKind::Xlwx,
             queries: vec![
-                // Duplicate priority: rejected by flow-set validation.
+                // Duplicate priority against the base system.
                 Query::Admission {
                     flow: mesh_flow((5, 6, 1, 3000)),
                 },
+                // Unknown base flow id.
                 Query::Removal {
                     id: FlowId::new(99),
                 },
+                // Zero period.
+                Query::Admission {
+                    flow: mesh_flow((5, 6, 7, 0)),
+                },
+                // Zero-flit payload.
+                Query::Admission {
+                    flow: Flow::builder(NodeId::new(5), NodeId::new(6))
+                        .priority(Priority::new(8))
+                        .period(Cycles::new(1000))
+                        .length_flits(0)
+                        .build(),
+                },
+                // Zero buffer depth.
+                Query::BufferWhatIf { depth: 0 },
                 // A sane query after the failures still works.
                 Query::BufferWhatIf { depth: 4 },
             ],
         };
         let report = run_batch(&base, &batch, &XyRouting, 2);
-        assert!(matches!(
-            report.outcomes[0],
-            QueryOutcome::Infeasible { .. }
-        ));
-        assert!(matches!(
-            report.outcomes[1],
-            QueryOutcome::Infeasible { .. }
-        ));
-        assert!(!matches!(
-            report.outcomes[2],
-            QueryOutcome::Infeasible { .. }
-        ));
-        let (_, _, infeasible) = report.tally();
-        assert_eq!(infeasible, 2);
+        for (i, outcome) in report.outcomes[..5].iter().enumerate() {
+            assert!(
+                matches!(
+                    outcome,
+                    QueryOutcome::Failed {
+                        error: ServeError::InvalidQuery { .. }
+                    }
+                ),
+                "query {i}: {outcome:?}"
+            );
+        }
+        assert!(!matches!(report.outcomes[5], QueryOutcome::Failed { .. }));
+        assert_eq!(report.tally().failed, 5);
     }
 
     #[test]
@@ -506,6 +958,195 @@ mod tests {
         };
         let report = run_batch(&base, &batch, &XyRouting, 4);
         assert!(report.outcomes.is_empty());
-        assert_eq!(report.tally(), (0, 0, 0));
+        assert_eq!(report.tally(), OutcomeTally::default());
+    }
+
+    #[test]
+    fn default_options_match_run_batch() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let plain = run_batch(&base, &batch, &XyRouting, 2);
+        let with = run_batch_with(&base, &batch, &XyRouting, 2, &ServeOptions::default());
+        assert_eq!(plain.outcomes, with.outcomes);
+    }
+
+    #[test]
+    fn shedding_is_deterministic_and_thread_invariant() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let options = ServeOptions {
+            max_pending: Some(2),
+            ..ServeOptions::default()
+        };
+        let clean = run_batch(&base, &batch, &XyRouting, 1);
+        for threads in [1, 2, 4] {
+            let report = run_batch_with(&base, &batch, &XyRouting, threads, &options);
+            assert_eq!(&report.outcomes[..2], &clean.outcomes[..2], "{threads}");
+            assert!(
+                report.outcomes[2..]
+                    .iter()
+                    .all(|o| *o == QueryOutcome::Shed),
+                "{threads}"
+            );
+            assert_eq!(report.tally().shed, batch.queries.len() - 2);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_every_query_conservatively() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let options = ServeOptions {
+            deadline: Some(Duration::ZERO),
+            ..ServeOptions::default()
+        };
+        let clean = run_batch(&base, &batch, &XyRouting, 1);
+        let report = run_batch_with(&base, &batch, &XyRouting, 2, &options);
+        for (i, (degraded, exact)) in report.outcomes.iter().zip(&clean.outcomes).enumerate() {
+            match degraded {
+                QueryOutcome::Degraded {
+                    reason: DegradeReason::DeadlineExceeded,
+                    failing,
+                } => {
+                    // Conservative acceptance implies exact acceptance.
+                    if *failing == 0 {
+                        assert!(exact.is_accepted(), "query {i}");
+                    }
+                }
+                other => panic!("query {i}: expected Degraded, got {other:?}"),
+            }
+        }
+        assert_eq!(report.tally().degraded, batch.queries.len());
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let options = ServeOptions {
+            deadline: Some(Duration::from_secs(3600)),
+            ..ServeOptions::default()
+        };
+        let clean = run_batch(&base, &batch, &XyRouting, 2);
+        let report = run_batch_with(&base, &batch, &XyRouting, 2, &options);
+        assert_eq!(report.outcomes, clean.outcomes);
+    }
+
+    /// Keeps injected-fault panics out of the test output; every other
+    /// panic still reaches the default hook (and fails tests normally).
+    fn quiet_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with("injected fault:"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn injected_transient_panics_are_retried_to_the_exact_answer() {
+        quiet_injected_panics();
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let clean = run_batch(&base, &batch, &XyRouting, 1);
+        // Find a seed whose plan panics transiently on at least one query
+        // of this batch — deterministically, by scanning plans.
+        let plan = (0..4096)
+            .map(|seed| FaultPlan::new(seed, 1.0))
+            .find(|plan| {
+                (0..batch.queries.len())
+                    .any(|q| plan.fault_for(q, 0) == Fault::Panic { persistent: false })
+                    && (0..batch.queries.len())
+                        .all(|q| plan.fault_for(q, 0) != Fault::Panic { persistent: true })
+                    && (0..batch.queries.len()).all(|q| plan.fault_for(q, 0) != Fault::CancelSolve)
+            })
+            .expect("some seed panics transiently without persistent/cancel faults");
+        let options = ServeOptions {
+            faults: Some(plan),
+            ..ServeOptions::default()
+        };
+        let report = run_batch_with(&base, &batch, &XyRouting, 2, &options);
+        // Transient panics and delays are absorbed: outcomes match the
+        // never-faulted run exactly.
+        assert_eq!(report.outcomes, clean.outcomes);
+    }
+
+    #[test]
+    fn persistent_panics_exhaust_retries_into_failed() {
+        quiet_injected_panics();
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let batch = sample_batch();
+        let clean = run_batch(&base, &batch, &XyRouting, 1);
+        let plan = (0..256)
+            .map(|seed| FaultPlan::new(seed, 1.0))
+            .find(|plan| {
+                (0..batch.queries.len())
+                    .any(|q| plan.fault_for(q, 0) == Fault::Panic { persistent: true })
+            })
+            .expect("some seed injects a persistent panic");
+        let options = ServeOptions {
+            faults: Some(plan),
+            max_retries: 1,
+            ..ServeOptions::default()
+        };
+        let report = run_batch_with(&base, &batch, &XyRouting, 2, &options);
+        let mut saw_failed = false;
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            match plan.fault_for(i, 0) {
+                Fault::Panic { persistent: true } => {
+                    assert!(
+                        matches!(
+                            outcome,
+                            QueryOutcome::Failed {
+                                error: ServeError::Panicked { .. }
+                            }
+                        ),
+                        "query {i}: {outcome:?}"
+                    );
+                    saw_failed = true;
+                }
+                Fault::CancelSolve => {
+                    assert!(
+                        matches!(outcome, QueryOutcome::Degraded { .. }),
+                        "query {i}: {outcome:?}"
+                    );
+                }
+                _ => {
+                    // Transient faults resolve to the exact answer; later
+                    // queries on a shard that failed earlier still serve
+                    // correctly off the re-forked context.
+                    assert_eq!(outcome, &clean.outcomes[i], "query {i}");
+                }
+            }
+        }
+        assert!(saw_failed);
+    }
+
+    #[test]
+    fn serve_options_from_env_defaults_are_inert() {
+        // The test environment does not set the serve variables; from_env
+        // must then equal the default policy.
+        if env::var("NOC_SERVE_DEADLINE_MS").is_err()
+            && env::var("NOC_SERVE_MAX_PENDING").is_err()
+            && env::var("NOC_FAULT_SEED").is_err()
+        {
+            let options = ServeOptions::from_env();
+            assert_eq!(options.deadline, None);
+            assert_eq!(options.max_pending, None);
+            assert_eq!(options.faults, None);
+        }
     }
 }

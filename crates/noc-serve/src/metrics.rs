@@ -24,3 +24,35 @@ pub static CONTEXT_FORKS: Counter = Counter::new("serve.context_forks");
 /// Graph-sharing rebases served for buffer what-ifs
 /// ([`AnalysisContext::rebase`](noc_analysis::context::AnalysisContext::rebase)).
 pub static CONTEXT_REBASES: Counter = Counter::new("serve.context_rebases");
+
+/// Worker panics caught by the per-query isolation boundary (injected or
+/// real). Each one also triggers a shard rebuild.
+pub static PANICS_CAUGHT: Counter = Counter::new("serve.panics_caught");
+
+/// Shards re-forked from the base context after a caught panic poisoned
+/// their mutable state.
+pub static SHARD_REBUILDS: Counter = Counter::new("serve.shard_rebuilds");
+
+/// Serve attempts retried after a transient failure (bounded backoff).
+pub static RETRIES: Counter = Counter::new("serve.retries");
+
+/// Queries answered with a conservative
+/// [`Degraded`](crate::QueryOutcome::Degraded) verdict after a deadline or
+/// convergence failure.
+pub static DEGRADED: Counter = Counter::new("serve.degraded");
+
+/// Queries shed unserved because the batch exceeded the configured
+/// pending-queue bound ([`ServeOptions::max_pending`](crate::ServeOptions)).
+pub static SHED: Counter = Counter::new("serve.shed");
+
+/// Queries rejected up front by batch validation
+/// ([`ServeError::InvalidQuery`](crate::ServeError)).
+pub static INVALID: Counter = Counter::new("serve.invalid");
+
+/// Queries that exhausted their retries and answered
+/// [`Failed`](crate::QueryOutcome::Failed).
+pub static FAILED: Counter = Counter::new("serve.failed");
+
+/// Faults injected by an active [`FaultPlan`](crate::fault::FaultPlan) —
+/// nonzero in any chaos run, always zero otherwise.
+pub static FAULTS_INJECTED: Counter = Counter::new("serve.faults.injected");

@@ -129,6 +129,14 @@ pub fn len() -> usize {
     SINK.lock().unwrap_or_else(|e| e.into_inner()).len()
 }
 
+/// Number of emissions discarded because the sink was full — the value of
+/// the `telemetry.events.dropped` counter, which (like every touched
+/// counter) also appears in [`crate::snapshot`]. A nonzero value means the
+/// consumer is not draining often enough for the event volume.
+pub fn dropped() -> u64 {
+    DROPPED.get()
+}
+
 /// Minimal JSON string escaping.
 pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
@@ -175,5 +183,32 @@ mod tests {
         crate::set_enabled(false);
         emit("test.ignored", &[]);
         assert_eq!(len(), 0, "disabled emission must not buffer");
+    }
+
+    #[test]
+    fn overflow_is_dropped_counted_and_snapshot_visible() {
+        let _gate = crate::test_gate();
+        crate::set_enabled(true);
+        let _ = drain();
+        let dropped_before = dropped();
+        for _ in 0..MAX_EVENTS {
+            emit("test.fill", &[]);
+        }
+        assert_eq!(len(), MAX_EVENTS, "sink fills to its cap");
+        emit("test.overflow", &[("n", Value::from(1u64))]);
+        emit("test.overflow", &[("n", Value::from(2u64))]);
+        assert_eq!(len(), MAX_EVENTS, "overflow does not buffer");
+        assert_eq!(dropped() - dropped_before, 2, "each overflow is counted");
+        // The drop counter is an ordinary self-registering metric, so a
+        // snapshot taken after an overflow surfaces it by name.
+        let snap = crate::snapshot();
+        assert!(
+            snap.to_inline_json()
+                .contains("\"telemetry.events.dropped\""),
+            "snapshot must surface the dropped-events counter"
+        );
+        let _ = drain();
+        assert_eq!(len(), 0);
+        crate::set_enabled(false);
     }
 }

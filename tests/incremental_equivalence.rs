@@ -139,6 +139,67 @@ fn exercise(
     assert_matches_scratch(&mut ctx, label, steps);
 }
 
+/// A solve that trips the convergence cap poisons the whole cache (every
+/// flow goes dirty), but must not poison the *context*: once the
+/// offending flow is removed, every analysis reports bit-identically to a
+/// from-scratch solve and to the pre-failure reports.
+#[test]
+fn convergence_cap_failure_recovers_to_scratch_equivalence() {
+    let topology = Topology::mesh(3, 1);
+    let victim = Flow::builder(NodeId::new(1), NodeId::new(2))
+        .priority(Priority::new(2))
+        .period(Cycles::new(10_000_000_000))
+        .length_flits(32)
+        .build();
+    let flows = FlowSet::new(vec![victim]).expect("single victim flow is valid");
+    let system =
+        System::new(topology, NocConfig::default(), flows, &XyRouting).expect("3x1 mesh builds");
+    let mut ctx = IncrementalContext::new(system).expect("victim-only system is analysable");
+    let clean: Vec<AnalysisReport> = AnalysisKind::ALL
+        .iter()
+        .map(|&k| ctx.analyze(k).expect("victim-only system converges"))
+        .collect();
+
+    // A near-saturating high-priority interferer: each victim iteration
+    // grows the window past another period, so the fixed point never
+    // settles and the solver's convergence cap trips.
+    let saturating = Flow::builder(NodeId::new(0), NodeId::new(2))
+        .priority(Priority::new(1))
+        .period(Cycles::new(19))
+        .length_flits(16)
+        .build();
+    let id = ctx
+        .apply(Delta::Add(saturating), &XyRouting)
+        .expect("saturating flow routes")
+        .expect("additions yield an id");
+    let err = ctx.analyze(AnalysisKind::Xlwx);
+    assert!(
+        matches!(err, Err(AnalysisError::ConvergenceCap { .. })),
+        "saturating fixture must trip the cap, got {err:?}"
+    );
+
+    // The conservative bound stays total where the fixed point gave up.
+    let conservative = ctx.conservative_report();
+    assert_eq!(
+        conservative.len(),
+        2,
+        "conservative report covers all flows"
+    );
+
+    ctx.remove_flow(id)
+        .expect("saturating flow removes cleanly");
+    assert_matches_scratch(&mut ctx, "cap_recovery", 0);
+    for (&kind, before) in AnalysisKind::ALL.iter().zip(&clean) {
+        let after = ctx
+            .analyze(kind)
+            .expect("recovered context converges again");
+        assert_eq!(
+            &after, before,
+            "post-recovery {kind:?} diverged from the pre-failure report"
+        );
+    }
+}
+
 #[test]
 fn didactic_delta_sequences_match_from_scratch() {
     // The paper fixture pins vc(Ξ) = 3, which would veto a fourth

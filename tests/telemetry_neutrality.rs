@@ -7,7 +7,9 @@
 //! is process-global state — splitting it across `#[test]`s would race.
 
 use noc_mpb::prelude::*;
-use noc_mpb::serve::{run_batch, sample_queries, QueryBatch, QueryOutcome};
+use noc_mpb::serve::{
+    run_batch, run_batch_with, sample_queries, QueryBatch, QueryOutcome, ServeOptions,
+};
 use noc_mpb::telemetry;
 use noc_mpb::workload::didactic;
 
@@ -70,6 +72,13 @@ fn run_workload() -> (
         queries: sample_queries(&serve_system, 24),
     };
     let outcomes = run_batch(&base, &batch, &table, 2).outcomes;
+    // The fault-tolerant entry point with a default policy (no deadline,
+    // no shedding, no faults) must be bit-identical to plain `run_batch`.
+    let with_default = run_batch_with(&base, &batch, &table, 2, &ServeOptions::default()).outcomes;
+    assert_eq!(
+        outcomes, with_default,
+        "default ServeOptions must not perturb serving"
+    );
 
     (full, incremental, stats, outcomes)
 }
@@ -120,7 +129,9 @@ fn telemetry_is_a_pure_observer() {
     let latency = snap
         .histogram("serve.query.latency_ns")
         .expect("query latency histogram recorded");
-    assert_eq!(latency.count, 24, "one latency sample per query");
+    // The workload serves the 24-query batch twice (plain and
+    // default-options entry points), one latency sample per query each.
+    assert_eq!(latency.count, 48, "one latency sample per served query");
     assert!(
         snap.histogram("analysis.solver.solve_ns")
             .is_some_and(|h| h.count > 0),
