@@ -16,15 +16,21 @@
 //! replaced by one that dominates it across *all five* analyses:
 //!
 //! ```text
-//! Bᵢ = Cᵢ + Σ_{τⱼ ∈ S^D_i} ⌈(Dᵢ + Jⱼ + (Dⱼ − Cⱼ) + Iup*(j,i)) / Tⱼ⌉ · (Cⱼ + Idown*(j,i))
+//! Bᵢ = Cᵢ·(σᵢ+1) + Σ_{τⱼ ∈ S^D_i} ηⱼ(Dᵢ + (Dⱼ − Cⱼ) + Iup*(j,i)) · (Cⱼ + Idown*(j,i))
 //! ```
 //!
-//! where `Idown*`/`Iup*` are the XLWX downstream charge (Eq. 3) and the
+//! where `ηⱼ(w) = ⌈(w + Jⱼ)/Tⱼ⌉ + σⱼ` is τⱼ's arrival curve (the paper's
+//! hit count plus the burst allowance, matching the solver's), and
+//! `Idown*`/`Iup*` are the XLWX downstream charge (Eq. 3) and the
 //! upstream term (Eq. 2) evaluated over windows of length Dⱼ instead of Rⱼ.
 //! The window jitter `(Dⱼ − Cⱼ) + Iup*` dominates both the interference
 //! jitter `J^I_j = Rⱼ − Cⱼ` (for schedulable τⱼ, Rⱼ ≤ Dⱼ) and the original
 //! Xiong `Iup` jitter; the XLWX charge dominates both the ignore-downstream
-//! (SB) charge and the buffer-capped (IBN) charge.
+//! (SB) charge and the buffer-capped (IBN) charge. Burst terms match the
+//! solver's exactly — the same `+σ` per hit count and the same
+//! `σᵢ·Cᵢ` self-backlog base — so domination is preserved on the bursty
+//! axis, and heterogeneous buffer maps cannot weaken it (buffer depths only
+//! ever *cap* the IBN charge below the XLWX charge used here).
 //!
 //! # Soundness, in both directions that matter
 //!
@@ -49,6 +55,7 @@
 
 use std::collections::HashMap;
 
+use noc_model::arrival::ArrivalCurve;
 use noc_model::contention::InterferenceGraph;
 use noc_model::ids::FlowId;
 use noc_model::system::System;
@@ -93,19 +100,20 @@ pub(crate) fn conservative_from_parts(
     let mut verdicts = vec![FlowVerdict::NotConverged; order.len()];
     for &i in order {
         let d_i = u128::from(system.flow(i).deadline().as_u64());
-        let mut bound = bounder.c[i.index()];
+        // The same σᵢ·Cᵢ self-backlog base as the solver's recurrence.
+        let mut bound = bounder.c[i.index()].saturating_mul(u128::from(system.flow(i).burst()) + 1);
         for &j in graph.direct_set(i) {
             let f_j = system.flow(j);
-            let t_j = u128::from(f_j.period().as_u64()).max(1);
-            let j_j = u128::from(f_j.jitter().as_u64());
             let d_j = u128::from(f_j.deadline().as_u64());
             let c_j = bounder.c[j.index()];
             let jitter = d_j
                 .saturating_sub(c_j)
                 .saturating_add(bounder.iup_bound(i, j));
-            let window = d_i.saturating_add(j_j).saturating_add(jitter);
+            // ηⱼ adds Jⱼ and σⱼ itself, mirroring the solver's hit count.
+            let window = d_i.saturating_add(jitter);
+            let hits = f_j.arrival_curve().max_arrivals_raw(window);
             let charge = c_j.saturating_add(bounder.idown_bound(j, i));
-            bound = bound.saturating_add(window.div_ceil(t_j).saturating_mul(charge));
+            bound = bound.saturating_add(hits.saturating_mul(charge));
         }
         verdicts[i.index()] = if bound <= d_i {
             FlowVerdict::Schedulable {
@@ -130,14 +138,11 @@ struct Bounder<'a> {
 }
 
 impl Bounder<'_> {
-    /// `⌈(Dⱼ + Jₖ)/Tₖ⌉` — the hit count of Eq. 7/8 with the window widened
-    /// from Rⱼ to Dⱼ.
+    /// `ηₖ(Dⱼ) = ⌈(Dⱼ + Jₖ)/Tₖ⌉ + σₖ` — the hit count of Eq. 7/8 with the
+    /// window widened from Rⱼ to Dⱼ, from τₖ's arrival curve.
     fn hits_in_deadline(&self, j: FlowId, k: FlowId) -> u128 {
         let d_j = u128::from(self.system.flow(j).deadline().as_u64());
-        let flow_k = self.system.flow(k);
-        let t_k = u128::from(flow_k.period().as_u64()).max(1);
-        let j_k = u128::from(flow_k.jitter().as_u64());
-        d_j.saturating_add(j_k).div_ceil(t_k)
+        self.system.flow(k).arrival_curve().max_arrivals_raw(d_j)
     }
 
     /// `Iup*(j,i)` — Equation 2 over a Dⱼ-length window.

@@ -7,11 +7,19 @@
 //! paper's Equation 5 skeleton:
 //!
 //! ```text
-//! Rᵢ = Cᵢ + Σ_{τⱼ ∈ S^D_i} ⌈(Rᵢ + Jⱼ + jitterⱼ) / Tⱼ⌉ · (Cⱼ + Idown(j,i))
+//! Rᵢ = Cᵢ·(σᵢ + 1) + Σ_{τⱼ ∈ S^D_i} ηⱼ(Rᵢ + jitterⱼ) · (Cⱼ + Idown(j,i))
 //! ```
 //!
 //! solved highest-priority-first so that every `Rⱼ` referenced by the
-//! interference terms of τᵢ is already final.
+//! interference terms of τᵢ is already final. The hit count comes from each
+//! interferer's [arrival curve](noc_model::arrival):
+//! `ηⱼ(w) = ⌈(w + Jⱼ)/Tⱼ⌉ + σⱼ`, the paper's Eq. 5 window arithmetic plus
+//! the burst allowance σⱼ. For strictly periodic flow sets (every σ = 0)
+//! this is **bit-identical** to the paper's recurrence; for bursty flows
+//! the extra σⱼ hits per interferer and the `σᵢ·Cᵢ` self-backlog charge
+//! (the σᵢ same-priority predecessor packets released in the same burst,
+//! each occupying the route for at most Cᵢ) make every bound *conservative*
+//! rather than exact — see the crate docs for the per-axis exactness table.
 //!
 //! The solver does not derive anything from the [`System`] itself: the
 //! interference graph, priority order and zero-load latencies all come from
@@ -20,6 +28,7 @@
 
 use std::collections::HashMap;
 
+use noc_model::arrival::{ArrivalCurve, LeakyBucket};
 use noc_model::contention::InterferenceGraph;
 use noc_model::ids::FlowId;
 use noc_model::system::System;
@@ -218,6 +227,21 @@ impl<'a> Solver<'a> {
             self.order.len(),
             "solve cache does not match the flow set"
         );
+        // An exceeded budget must abort even when every flow is clean —
+        // otherwise a cancelled solve answers from the warm cache and the
+        // outcome depends on what happened to run on this context earlier.
+        // No work has been done yet, so the cache stays valid (no poison).
+        if let Some(budget) = self.budget {
+            if budget.is_exceeded() {
+                if let Some(&first) = self.order.first() {
+                    metrics::SOLVER_DEADLINE_HITS.incr();
+                    return Err(AnalysisError::DeadlineExceeded {
+                        flow: first,
+                        iterations: 0,
+                    });
+                }
+            }
+        }
         for &i in self.order {
             if !cache.dirty[i.index()] {
                 let deps_dirty = self
@@ -306,40 +330,41 @@ impl<'a> Solver<'a> {
         if direct.iter().any(|&j| self.r[j.index()].is_none()) {
             return Ok((FlowVerdict::Tainted, Vec::new()));
         }
-        // Per-interferer constants of the recurrence (independent of Rᵢ).
+        // Per-interferer constants of the recurrence (independent of Rᵢ):
+        // each interferer contributes hits from its own arrival curve,
+        // evaluated on the window inflated by the model-specific jitter.
         let mut terms = Vec::with_capacity(direct.len());
         for &j in &direct {
-            let t_j = u128::from(self.system.flow(j).period().as_u64());
-            let j_j = u128::from(self.system.flow(j).jitter().as_u64());
+            let curve = self.system.flow(j).arrival_curve();
             let extra_jitter = self.window_jitter(i, j);
             let downstream = self.downstream_term(j, i);
             let charge = self.c[j.index()].saturating_add(downstream);
-            terms.push((
-                j,
-                t_j,
-                j_j.saturating_add(extra_jitter),
+            terms.push(Term {
+                interferer: j,
+                curve,
                 extra_jitter,
                 charge,
                 downstream,
-            ));
+            });
         }
-        let explain = |r: u128, terms: &[(FlowId, u128, u128, u128, u128, u128)]| {
+        let explain = |r: u128, terms: &[Term]| {
             terms
                 .iter()
-                .map(
-                    |&(j, t_j, jitter_j, extra, charge, downstream)| InterferenceTerm {
-                        interferer: j,
-                        hits: u64::try_from(r.saturating_add(jitter_j).div_ceil(t_j))
-                            .unwrap_or(u64::MAX),
-                        charge_per_hit: clamp_cycles(charge),
-                        downstream_term: clamp_cycles(downstream),
-                        window_jitter: clamp_cycles(extra),
-                    },
-                )
+                .map(|t| InterferenceTerm {
+                    interferer: t.interferer,
+                    hits: u64::try_from(t.curve.max_arrivals_raw(r.saturating_add(t.extra_jitter)))
+                        .unwrap_or(u64::MAX),
+                    charge_per_hit: clamp_cycles(t.charge),
+                    downstream_term: clamp_cycles(t.downstream),
+                    window_jitter: clamp_cycles(t.extra_jitter),
+                })
                 .collect::<Vec<_>>()
         };
-        // Monotone fixed-point iteration from Rᵢ⁰ = Cᵢ.
-        let c_i = self.c[i.index()];
+        // Monotone fixed-point iteration from Rᵢ⁰ = Cᵢ·(σᵢ + 1): a bursty
+        // flow's packet can sit behind up to σᵢ same-burst predecessors,
+        // each occupying the route for at most Cᵢ. σᵢ = 0 degenerates to
+        // the paper's Rᵢ⁰ = Cᵢ exactly.
+        let c_i = self.c[i.index()].saturating_mul(u128::from(flow.burst()) + 1);
         let mut r = c_i;
         let mut iterations = 0u64;
         for _ in 0..MAX_ITERATIONS {
@@ -359,10 +384,10 @@ impl<'a> Solver<'a> {
                 }
             }
             let mut next = c_i;
-            for &(_, t_j, jitter_j, _, charge, _) in &terms {
-                let window = r.saturating_add(jitter_j);
-                let hits = window.div_ceil(t_j);
-                next = next.saturating_add(hits.saturating_mul(charge));
+            for t in &terms {
+                let window = r.saturating_add(t.extra_jitter);
+                let hits = t.curve.max_arrivals_raw(window);
+                next = next.saturating_add(hits.saturating_mul(t.charge));
             }
             if next > deadline {
                 metrics::SOLVER_ITERATIONS.add(iterations);
@@ -458,13 +483,11 @@ impl<'a> Solver<'a> {
         total
     }
 
-    /// `⌈(Rⱼ + Jₖ) / Tₖ⌉` — the number of τₖ packets that can hit τⱼ's
-    /// packet during its response window (Eq. 7/8).
+    /// `ηₖ(Rⱼ) = ⌈(Rⱼ + Jₖ)/Tₖ⌉ + σₖ` — the number of τₖ packets that can
+    /// hit τⱼ's packet during its response window (Eq. 7/8, generalised to
+    /// τₖ's arrival curve; exact Eq. 7/8 when σₖ = 0).
     fn hits_on(&self, r_j: u128, k: FlowId) -> u128 {
-        let flow_k = self.system.flow(k);
-        let t_k = u128::from(flow_k.period().as_u64());
-        let j_k = u128::from(flow_k.jitter().as_u64());
-        r_j.saturating_add(j_k).div_ceil(t_k)
+        self.system.flow(k).arrival_curve().max_arrivals_raw(r_j)
     }
 
     /// Equation 6: `bi(i,j) = buf(Ξ) · linkl(Ξ) · |cd(i,j)|` — the time for
@@ -493,6 +516,22 @@ impl<'a> Solver<'a> {
             .sum();
         linkl * total_buf
     }
+}
+
+/// One direct interferer's precomputed contribution to the recurrence of
+/// the flow under analysis: everything except the window length is fixed
+/// before the fixed-point iteration starts.
+struct Term {
+    interferer: FlowId,
+    /// The interferer's arrival curve ηⱼ — supplies hit counts per window.
+    curve: LeakyBucket,
+    /// Model-specific window inflation beyond the curve's own jitter
+    /// (interference jitter or upstream interference, per [`JitterModel`]).
+    extra_jitter: u128,
+    /// Cost per hit: Cⱼ + Idown(j,i).
+    charge: u128,
+    /// The Idown(j,i) part of the charge, kept for explanations.
+    downstream: u128,
 }
 
 /// Memoised solve state of **one** analysis over an evolving flow set: the

@@ -54,9 +54,10 @@
 
 use noc_model::contention::InterferenceGraph;
 use noc_model::flow::Flow;
-use noc_model::ids::FlowId;
+use noc_model::ids::{FlowId, RouterId};
 use noc_model::routing::RoutingAlgorithm;
 use noc_model::system::System;
+use noc_model::topology::Endpoint;
 
 use crate::analysis::AnalysisKind;
 use crate::budget::Budget;
@@ -76,6 +77,16 @@ pub enum Delta {
     /// Retire the flow with this id. Every larger id shifts down by one
     /// (flow ids are dense indices).
     Remove(FlowId),
+    /// Resize the per-VC input buffers of one router — the heterogeneous
+    /// buffer what-if. Only the buffer-aware analysis reads buffer depths,
+    /// so only its cache is invalidated, and only for the flows whose
+    /// contention domains cross the resized router.
+    ResizeBuffer {
+        /// The router whose input-VC depth changes.
+        router: RouterId,
+        /// The new per-VC depth in flits (≥ 1).
+        depth: u32,
+    },
 }
 
 /// A [`System`] plus its derived analysis structure, maintained
@@ -186,12 +197,70 @@ impl IncrementalContext {
         Ok(())
     }
 
+    /// Resizes the per-VC buffers of `router` to `depth` flits.
+    ///
+    /// Routes, flows, zero-load latencies and the interference graph are
+    /// all unaffected by buffer depths, so the only state invalidated is
+    /// the buffer-aware analysis cache — and within it only the flows that
+    /// actually read the resized router's depth: a solve of τᵢ reads
+    /// `buf(ξ)` exclusively through Equation 6 terms `bi(x, y)` over direct
+    /// pairs (`y ∈ S^D_x`), at `x = i` directly and at deeper victims
+    /// through the recursive `Idown` chain. Marking every such *victim* `x`
+    /// whose `cd(x, y)` contains a link into `router` suffices: the deeper
+    /// victims are members of `S^D ∪ S^I` chains above τᵢ, so
+    /// `solve_cached`'s one-pass propagation down the priority order dirties
+    /// every transitive reader — the same closure argument its docs make
+    /// for flow additions and removals. Bit-identity to a from-scratch
+    /// solve is pinned by `tests/incremental_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is out of bounds or `depth` is zero (mirroring
+    /// [`System::with_router_buffer_depth`]); serving layers validate
+    /// queries before applying them.
+    pub fn resize_buffer(&mut self, router: RouterId, depth: u32) {
+        let affected = self.buffer_dependents(router);
+        self.system = self.system.with_router_buffer_depth(router, depth);
+        let cache = &mut self.caches[AnalysisKind::BufferAware.index()];
+        for &a in &affected {
+            cache.mark_dirty(a.index());
+        }
+        metrics::INCREMENTAL_DELTAS.incr();
+        metrics::INCREMENTAL_FLOWS_DIRTIED.add(affected.len() as u64);
+    }
+
+    /// Flows whose buffer-aware bound reads the depth of `router`: the
+    /// victims of direct interference pairs whose contention domain
+    /// contains a link targeting it.
+    fn buffer_dependents(&self, router: RouterId) -> Vec<FlowId> {
+        let topology = self.system.topology();
+        let mut out = Vec::new();
+        for i in self.system.flows().ids() {
+            let touches = self.graph.direct_set(i).iter().any(|&j| {
+                self.graph.contention_domain(i, j).is_some_and(|cd| {
+                    cd.links()
+                        .iter()
+                        .any(|&l| topology.link(l).target() == Endpoint::Router(router))
+                })
+            });
+            if touches {
+                out.push(i);
+            }
+        }
+        out
+    }
+
     /// Applies one [`Delta`], returning the assigned id for an addition.
     ///
     /// # Errors
     ///
     /// Same conditions as [`IncrementalContext::add_flow`] and
     /// [`IncrementalContext::remove_flow`].
+    ///
+    /// # Panics
+    ///
+    /// [`Delta::ResizeBuffer`] panics on an unknown router or a zero depth
+    /// — see [`IncrementalContext::resize_buffer`].
     pub fn apply(
         &mut self,
         delta: Delta,
@@ -200,6 +269,10 @@ impl IncrementalContext {
         match delta {
             Delta::Add(flow) => self.add_flow(flow, routing).map(Some),
             Delta::Remove(id) => self.remove_flow(id).map(|()| None),
+            Delta::ResizeBuffer { router, depth } => {
+                self.resize_buffer(router, depth);
+                Ok(None)
+            }
         }
     }
 
@@ -454,6 +527,59 @@ mod tests {
 
         // … and a later solve with a fresh (absent) budget fully recovers.
         assert_eq!(starved.analyze(AnalysisKind::BufferAware).unwrap(), clean);
+    }
+
+    #[test]
+    fn buffer_resizes_match_from_scratch_solves() {
+        let mut ctx = IncrementalContext::new(mesh_system(&SPECS)).unwrap();
+        // Warm every cache first so a lazy dirty rule would be caught.
+        assert_matches_scratch(&mut ctx);
+        for (router, depth) in [(5u32, 8u32), (0, 1), (5, 2), (10, 64)] {
+            ctx.resize_buffer(RouterId::new(router), depth);
+            assert!(ctx.system().has_heterogeneous_buffers() || depth == 2);
+            assert_matches_scratch(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn resize_roundtrip_restores_reports() {
+        let mut ctx = IncrementalContext::new(mesh_system(&SPECS)).unwrap();
+        let before: Vec<AnalysisReport> = AnalysisKind::ALL
+            .iter()
+            .map(|&k| ctx.analyze(k).unwrap())
+            .collect();
+        let router = RouterId::new(7);
+        let original = ctx.system().buffer_depth_at(router);
+        ctx.resize_buffer(router, 32);
+        let _ = ctx.analyze(AnalysisKind::BufferAware).unwrap();
+        ctx.resize_buffer(router, original);
+        for (&kind, report) in AnalysisKind::ALL.iter().zip(&before) {
+            assert_eq!(&ctx.analyze(kind).unwrap(), report, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn resize_delta_applies_through_apply() {
+        let mut ctx = IncrementalContext::new(mesh_system(&SPECS[..3])).unwrap();
+        let out = ctx
+            .apply(
+                Delta::ResizeBuffer {
+                    router: RouterId::new(4),
+                    depth: 16,
+                },
+                &XyRouting,
+            )
+            .unwrap();
+        assert_eq!(out, None);
+        assert_eq!(ctx.system().buffer_depth_at(RouterId::new(4)), 16);
+        assert_matches_scratch(&mut ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer depth")]
+    fn zero_depth_resize_panics() {
+        let mut ctx = IncrementalContext::new(mesh_system(&SPECS[..2])).unwrap();
+        ctx.resize_buffer(RouterId::new(0), 0);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Bench X9: heterogeneous buffers and bursty release — the buffer-aware
+//! analysis over a per-router-depth 16×16 workload (the slow path of
+//! Equation 6) and per-router buffer what-if serving.
+//!
+//! The group body lives in [`noc_bench::suites`] so the `bench_json`
+//! binary measures exactly what `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::suites;
+
+fn hetero_analysis(c: &mut Criterion) {
+    let (label, system) = suites::hetero_fixture(true);
+    suites::bench_hetero_analysis(c, label, &system);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = hetero_analysis
+}
+criterion_main!(benches);

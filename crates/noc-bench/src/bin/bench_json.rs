@@ -72,6 +72,8 @@ fn main() {
     suites::bench_context_reuse(&mut c, &suites::context_fixtures(production));
     let (adm_label, adm_system) = suites::admission_fixture(production);
     suites::bench_admission_serving(&mut c, adm_label, &adm_system);
+    let (het_label, het_system) = suites::hetero_fixture(production);
+    suites::bench_hetero_analysis(&mut c, het_label, &het_system);
 
     // Cycles simulated per iteration, by bench label. Analysis-side groups
     // (context_reuse) simulate nothing and report 0.

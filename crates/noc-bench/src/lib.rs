@@ -17,6 +17,7 @@
 //! | `sim_throughput` | cycle-accurate simulator throughput (Figure 1 router) |
 //! | `ablation_analyses`, `ablation_priorities` | analysis/priority-policy ablations |
 //! | `context_reuse` | shared `AnalysisContext` vs per-call derivation, up to [`production_system`] scale (16×16, thousands of flows) |
+//! | `hetero_analysis` | buffer-aware analysis and per-router what-if serving over the [`heterogeneous_system`] fixture (per-router depths, bursty release) |
 
 use noc_model::prelude::*;
 use noc_workload::synthetic::SyntheticSpec;
@@ -50,6 +51,19 @@ pub fn production_system(n_flows: usize, buffer: u32, seed: u64) -> System {
     bench_system(16, n_flows, buffer, seed)
 }
 
+/// Heterogeneous fixture: the §VI workload with per-router buffer depths
+/// drawn from `2..=8` flits and bursty sources (σ ≤ 2) — the generalised
+/// release/buffer axes the buffer-aware analysis is sensitive to. At
+/// `mesh = 16` this is the north-star heterogeneous scenario recorded in
+/// `BENCH_history.jsonl` by `bench_json`.
+pub fn heterogeneous_system(mesh: u16, n_flows: usize, seed: u64) -> System {
+    SyntheticSpec::paper(mesh, mesh, n_flows, 2)
+        .with_buffer_depth_range(2, 8)
+        .with_burst_range(0, 2)
+        .generate(seed)
+        .into_system()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +77,17 @@ mod tests {
             assert_eq!(a.flow(id), b.flow(id));
         }
         assert_eq!(dense_sim_system(3).flows().len(), 12);
+    }
+
+    #[test]
+    fn heterogeneous_fixture_is_heterogeneous_and_bursty() {
+        let sys = heterogeneous_system(8, 120, 5);
+        assert!(sys.has_heterogeneous_buffers());
+        assert!(sys.flows().iter().any(|(_, f)| f.burst() > 0));
+        for r in 0..sys.topology().router_count() {
+            let d = sys.buffer_depth_at(RouterId::new(r as u32));
+            assert!((2..=8).contains(&d));
+        }
     }
 
     #[test]

@@ -199,6 +199,54 @@ pub fn admission_fixture(production: bool) -> (&'static str, System) {
     }
 }
 
+/// Fixture of the `hetero_analysis` group: `(label, system)`.
+///
+/// The production fixture is the heterogeneous north-star scenario (16×16
+/// mesh, 1000 flows, per-router depths 2–8, bursts σ ≤ 2); fast mode drops
+/// to an 8×8 mesh with the same depth/burst distributions.
+pub fn hetero_fixture(production: bool) -> (&'static str, System) {
+    if production {
+        (
+            "16x16_1000_hetero",
+            crate::heterogeneous_system(16, 1_000, 0xC0DE),
+        )
+    } else {
+        (
+            "8x8_260_hetero",
+            crate::heterogeneous_system(8, 260, 0xC0DE),
+        )
+    }
+}
+
+/// Bench group `hetero_analysis`: the buffer-aware analysis over a
+/// heterogeneous-depth bursty workload — the slow (per-router) path of
+/// Equation 6 — plus a batch of per-router buffer what-if queries served
+/// through the incremental resize path.
+pub fn bench_hetero_analysis(c: &mut Criterion, label: &str, system: &System) {
+    let mut group = c.benchmark_group("hetero_analysis");
+    group.bench_with_input(BenchmarkId::new("buffer-aware", label), system, |b, sys| {
+        let ctx = AnalysisContext::new(sys).unwrap();
+        b.iter(|| black_box(BufferAware.analyze_with(&ctx).unwrap()))
+    });
+    let base = AnalysisContext::new(system).expect("bench fixture is analysable");
+    let routers = system.topology().router_count();
+    let batch = noc_serve::QueryBatch {
+        analysis: AnalysisKind::BufferAware,
+        queries: (0..32usize)
+            .map(|i| noc_serve::Query::RouterBufferWhatIf {
+                router: RouterId::new((i * 7 % routers) as u32),
+                depth: 2 + (i % 7) as u32,
+            })
+            .collect(),
+    };
+    group.bench_with_input(
+        BenchmarkId::new("router-what-if-batch", label),
+        system,
+        |b, _| b.iter(|| black_box(noc_serve::run_batch(&base, &batch, &XyRouting, 2))),
+    );
+    group.finish();
+}
+
 /// Bench group `admission_serving`: a single-flow admission what-if served
 /// by a full rebuild (derive graph + solve from scratch) against the
 /// incremental dirty-bit path (delta-update the graph, re-solve only the

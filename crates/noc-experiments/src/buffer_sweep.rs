@@ -31,6 +31,10 @@ pub struct BufferSweepConfig {
     pub seed_base: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Optional heterogeneous point: per-router depths drawn uniformly
+    /// from this inclusive range (same flow sets, same seeds). `None`
+    /// reproduces the paper's uniform-depth sweep exactly.
+    pub hetero_range: Option<(u32, u32)>,
 }
 
 impl BufferSweepConfig {
@@ -45,6 +49,7 @@ impl BufferSweepConfig {
             sets: 100,
             seed_base: 0xB0F5,
             threads: default_threads(),
+            hetero_range: None,
         }
     }
 
@@ -72,6 +77,12 @@ pub struct BufferSweepResults {
     pub points: Vec<BufferSweepPoint>,
     /// % of sets schedulable under XLWX (buffer-independent floor).
     pub xlwx: f64,
+    /// % of sets schedulable under IBN with heterogeneous per-router
+    /// depths, when [`BufferSweepConfig::hetero_range`] is set. Sandwiched
+    /// between the uniform sweep at the range's endpoints (per set, a
+    /// heterogeneous map's buffered interference lies between the two
+    /// uniform extremes).
+    pub hetero: Option<(u32, u32, f64)>,
 }
 
 /// Runs the sweep.
@@ -79,14 +90,14 @@ pub fn run(config: &BufferSweepConfig) -> BufferSweepResults {
     // Generate each set once; one AnalysisContext per set is rebased across
     // every buffer depth (depth never changes the interference graph).
     let spec = SyntheticSpec::paper(config.mesh_width, config.mesh_height, config.n_flows, 2);
-    let per_set: Vec<(Vec<bool>, bool)> = par_map_indexed(config.sets, config.threads, |s| {
+    let per_set: Vec<(Vec<bool>, bool, bool)> = par_map_indexed(config.sets, config.threads, |s| {
         let seed = config
             .seed_base
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(s as u64);
         let system = spec.generate(seed).into_system();
         let Ok(ctx) = AnalysisContext::new(&system) else {
-            return (vec![false; config.buffer_depths.len()], false);
+            return (vec![false; config.buffer_depths.len()], false, false);
         };
         let ibn: Vec<bool> = config
             .buffer_depths
@@ -104,7 +115,23 @@ pub fn run(config: &BufferSweepConfig) -> BufferSweepResults {
             .analyze_with(&ctx)
             .map(|r| r.is_schedulable())
             .unwrap_or(false);
-        (ibn, xlwx)
+        // The heterogeneous point re-generates with the same seed: depth
+        // draws happen after every flow draw, so the flow set — and hence
+        // the interference graph the context is rebased onto — is
+        // identical.
+        let hetero = config.hetero_range.is_some_and(|(lo, hi)| {
+            let sys = spec
+                .clone()
+                .with_buffer_depth_range(lo, hi)
+                .generate(seed)
+                .into_system();
+            let hetero_ctx = ctx.rebased(&sys);
+            BufferAware
+                .analyze_with(&hetero_ctx)
+                .map(|r| r.is_schedulable())
+                .unwrap_or(false)
+        });
+        (ibn, xlwx, hetero)
     });
     let n = per_set.len() as f64;
     let points = config
@@ -113,11 +140,22 @@ pub fn run(config: &BufferSweepConfig) -> BufferSweepResults {
         .enumerate()
         .map(|(i, &buffer_depth)| BufferSweepPoint {
             buffer_depth,
-            ibn: 100.0 * per_set.iter().filter(|(ibn, _)| ibn[i]).count() as f64 / n,
+            ibn: 100.0 * per_set.iter().filter(|(ibn, _, _)| ibn[i]).count() as f64 / n,
         })
         .collect();
-    let xlwx = 100.0 * per_set.iter().filter(|(_, x)| *x).count() as f64 / n;
-    BufferSweepResults { points, xlwx }
+    let xlwx = 100.0 * per_set.iter().filter(|(_, x, _)| *x).count() as f64 / n;
+    let hetero = config.hetero_range.map(|(lo, hi)| {
+        (
+            lo,
+            hi,
+            100.0 * per_set.iter().filter(|(_, _, h)| *h).count() as f64 / n,
+        )
+    });
+    BufferSweepResults {
+        points,
+        xlwx,
+        hetero,
+    }
 }
 
 /// Renders the sweep as a table.
@@ -125,6 +163,9 @@ pub fn render(results: &BufferSweepResults) -> String {
     let mut t = TextTable::new(vec!["buf(Ξ)", "% schedulable (IBN)"]);
     for p in &results.points {
         t.add_row(vec![p.buffer_depth.to_string(), format!("{:.0}", p.ibn)]);
+    }
+    if let Some((lo, hi, pct)) = results.hetero {
+        t.add_row(vec![format!("hetero {lo}..={hi}"), format!("{pct:.0}")]);
     }
     t.add_row(vec![
         "XLWX (any buf)".into(),
@@ -157,6 +198,28 @@ mod tests {
         for p in &results.points {
             assert!(p.ibn >= results.xlwx);
         }
+    }
+
+    #[test]
+    fn hetero_point_is_sandwiched_by_uniform_extremes() {
+        let cfg = BufferSweepConfig {
+            n_flows: 120,
+            buffer_depths: vec![2, 16],
+            sets: 10,
+            threads: 4,
+            hetero_range: Some((2, 16)),
+            ..BufferSweepConfig::paper()
+        };
+        let results = run(&cfg);
+        let (lo, hi, pct) = results.hetero.expect("hetero point requested");
+        assert_eq!((lo, hi), (2, 16));
+        let at_lo = results.points[0].ibn;
+        let at_hi = results.points[1].ibn;
+        assert!(
+            at_hi <= pct && pct <= at_lo,
+            "hetero {pct}% outside uniform sandwich [{at_hi}%, {at_lo}%]"
+        );
+        assert!(render(&results).contains("hetero 2..=16"));
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Arrival curves: how many packets a flow may release into a time window.
+//!
+//! The paper models every flow as strictly periodic with release jitter —
+//! at most `⌈(w + Jᵢ)/Tᵢ⌉` releases in any half-open window of length `w`.
+//! Real SoC traffic is often *bursty*: a source may emit a backlog of up to
+//! `σ` extra packets at once (a DMA drain, a frame buffer flush) while still
+//! respecting the long-run rate `ρ = 1/Tᵢ`. The [`ArrivalCurve`] trait
+//! abstracts exactly the quantity the response-time analyses consume — the
+//! maximum number of releases in a window — so the fixed-point solver in
+//! `noc-analysis` is agnostic to which release model produced it.
+//!
+//! Two implementations are provided:
+//!
+//! * [`PeriodicWithJitter`] — the paper's model, `η(w) = ⌈(w + J)/T⌉`;
+//! * [`LeakyBucket`] — the (σ, ρ)-style generalisation,
+//!   `η(w) = ⌈(w + J)/T⌉ + σ`, with `σ = 0` **bit-identical** to
+//!   [`PeriodicWithJitter`] (pinned by the workspace's degenerate-equivalence
+//!   tests).
+//!
+//! The simulator realises a `LeakyBucket` flow by releasing packets at the
+//! nominal times [`ArrivalCurve::nominal_release`] = `T · max(0, k − σ)`:
+//! the first `σ + 1` packets are released simultaneously (the worst-case
+//! burst) and the tail is strictly periodic, which attains the curve with
+//! equality on every window anchored at the burst.
+
+use std::fmt;
+
+use crate::time::Cycles;
+
+/// The analysis-facing view of a flow's release model: an upper bound on
+/// the number of packets released into any time window.
+///
+/// Implementations must be *monotone* in the window length and *additive
+/// against jitter inflation*: the response-time analyses widen windows by
+/// model-specific jitter terms and rely on `η` never decreasing.
+pub trait ArrivalCurve {
+    /// Maximum number of releases in any half-open window of `window`
+    /// cycles, in the solver's saturating 128-bit arithmetic.
+    ///
+    /// This is the exact quantity the fixed-point recurrences multiply by
+    /// the per-hit charge; using `u128` keeps the solver's saturating
+    /// window arithmetic lossless.
+    fn max_arrivals_raw(&self, window: u128) -> u128;
+
+    /// [`ArrivalCurve::max_arrivals_raw`] over a [`Cycles`] window, clamped
+    /// to `u64` — the convenient form for tests and callers outside the
+    /// solver.
+    fn max_arrivals(&self, window: Cycles) -> u64 {
+        u64::try_from(self.max_arrivals_raw(u128::from(window.as_u64()))).unwrap_or(u64::MAX)
+    }
+
+    /// The burst allowance σ: how many packets beyond the periodic pattern
+    /// may be released at once. Zero for strictly periodic flows.
+    fn burst(&self) -> u32;
+
+    /// Nominal (jitter-free, offset-free) release time of packet `k`
+    /// (0-based) under the worst-case realisation of this curve:
+    /// `T · max(0, k − σ)`, i.e. packets `0..=σ` release together and the
+    /// tail is periodic. This is what `noc-sim`'s `ReleasePlan` schedules.
+    fn nominal_release(&self, k: u64) -> Cycles;
+}
+
+/// The paper's release model: strictly periodic with release jitter,
+/// `η(w) = ⌈(w + J)/T⌉`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeriodicWithJitter {
+    period: Cycles,
+    jitter: Cycles,
+}
+
+impl PeriodicWithJitter {
+    /// A periodic curve with period `T` and release jitter `J`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the rate ρ = 1/T must be finite).
+    pub fn new(period: Cycles, jitter: Cycles) -> PeriodicWithJitter {
+        assert!(!period.is_zero(), "arrival-curve period must be positive");
+        PeriodicWithJitter { period, jitter }
+    }
+
+    /// The period T.
+    pub fn period(&self) -> Cycles {
+        self.period
+    }
+
+    /// The release jitter J.
+    pub fn jitter(&self) -> Cycles {
+        self.jitter
+    }
+}
+
+impl ArrivalCurve for PeriodicWithJitter {
+    fn max_arrivals_raw(&self, window: u128) -> u128 {
+        window
+            .saturating_add(u128::from(self.jitter.as_u64()))
+            .div_ceil(u128::from(self.period.as_u64()))
+    }
+
+    fn burst(&self) -> u32 {
+        0
+    }
+
+    fn nominal_release(&self, k: u64) -> Cycles {
+        self.period * k
+    }
+}
+
+impl fmt::Display for PeriodicWithJitter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "periodic(T={}, J={})", self.period, self.jitter)
+    }
+}
+
+/// A (σ, ρ)-style leaky-bucket curve: up to `σ` packets beyond the periodic
+/// pattern may be released at once, `η(w) = ⌈(w + J)/T⌉ + σ`.
+///
+/// With `σ = 0` every method is bit-identical to [`PeriodicWithJitter`]
+/// over the same `(T, J)` — the degenerate case the equivalence tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeakyBucket {
+    period: Cycles,
+    jitter: Cycles,
+    burst: u32,
+}
+
+impl LeakyBucket {
+    /// A bursty curve with period `T`, jitter `J` and burst allowance `σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: Cycles, jitter: Cycles, burst: u32) -> LeakyBucket {
+        assert!(!period.is_zero(), "arrival-curve period must be positive");
+        LeakyBucket {
+            period,
+            jitter,
+            burst,
+        }
+    }
+
+    /// The period T (long-run rate ρ = 1/T).
+    pub fn period(&self) -> Cycles {
+        self.period
+    }
+
+    /// The release jitter J.
+    pub fn jitter(&self) -> Cycles {
+        self.jitter
+    }
+}
+
+impl ArrivalCurve for LeakyBucket {
+    fn max_arrivals_raw(&self, window: u128) -> u128 {
+        window
+            .saturating_add(u128::from(self.jitter.as_u64()))
+            .div_ceil(u128::from(self.period.as_u64()))
+            .saturating_add(u128::from(self.burst))
+    }
+
+    fn burst(&self) -> u32 {
+        self.burst
+    }
+
+    fn nominal_release(&self, k: u64) -> Cycles {
+        self.period * k.saturating_sub(u64::from(self.burst))
+    }
+}
+
+impl fmt::Display for LeakyBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "leaky-bucket(T={}, J={}, σ={})",
+            self.period, self.jitter, self.burst
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_counts_match_div_ceil() {
+        let c = PeriodicWithJitter::new(Cycles::new(100), Cycles::new(30));
+        assert_eq!(c.max_arrivals(Cycles::ZERO), 1); // ⌈30/100⌉: jitter alone
+        assert_eq!(c.max_arrivals(Cycles::new(1)), 1);
+        assert_eq!(c.max_arrivals(Cycles::new(70)), 1);
+        assert_eq!(c.max_arrivals(Cycles::new(71)), 2);
+        assert_eq!(c.max_arrivals(Cycles::new(270)), 3);
+        assert_eq!(c.burst(), 0);
+    }
+
+    #[test]
+    fn zero_burst_bucket_is_bit_identical_to_periodic() {
+        let p = PeriodicWithJitter::new(Cycles::new(250), Cycles::new(40));
+        let b = LeakyBucket::new(Cycles::new(250), Cycles::new(40), 0);
+        for w in [0u64, 1, 209, 210, 211, 250, 499, 500, 10_000, u64::MAX] {
+            assert_eq!(
+                p.max_arrivals_raw(u128::from(w)),
+                b.max_arrivals_raw(u128::from(w)),
+                "window {w}"
+            );
+        }
+        for k in [0u64, 1, 2, 7, 1000] {
+            assert_eq!(p.nominal_release(k), b.nominal_release(k), "packet {k}");
+        }
+    }
+
+    #[test]
+    fn burst_adds_sigma_everywhere() {
+        let b = LeakyBucket::new(Cycles::new(100), Cycles::ZERO, 3);
+        assert_eq!(b.max_arrivals(Cycles::ZERO), 3);
+        assert_eq!(b.max_arrivals(Cycles::new(1)), 4);
+        assert_eq!(b.max_arrivals(Cycles::new(100)), 4);
+        assert_eq!(b.max_arrivals(Cycles::new(101)), 5);
+        assert_eq!(b.burst(), 3);
+    }
+
+    #[test]
+    fn bursty_nominal_releases_front_load_sigma_plus_one_packets() {
+        let b = LeakyBucket::new(Cycles::new(100), Cycles::ZERO, 2);
+        assert_eq!(b.nominal_release(0), Cycles::ZERO);
+        assert_eq!(b.nominal_release(1), Cycles::ZERO);
+        assert_eq!(b.nominal_release(2), Cycles::ZERO);
+        assert_eq!(b.nominal_release(3), Cycles::new(100));
+        assert_eq!(b.nominal_release(4), Cycles::new(200));
+    }
+
+    #[test]
+    fn simulated_burst_realisation_attains_the_curve() {
+        // Releases at nominal times never exceed η(w) on any window
+        // anchored at the burst, and meet it with equality at the release
+        // instants themselves.
+        let b = LeakyBucket::new(Cycles::new(50), Cycles::ZERO, 4);
+        for w in 1u64..400 {
+            let released = (0u64..100)
+                .filter(|&k| b.nominal_release(k).as_u64() < w)
+                .count() as u64;
+            assert!(
+                released <= b.max_arrivals(Cycles::new(w)),
+                "window {w}: {released} releases exceed the curve"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_window_length() {
+        let b = LeakyBucket::new(Cycles::new(97), Cycles::new(13), 2);
+        let mut prev = 0;
+        for w in 0..500u64 {
+            let eta = b.max_arrivals(Cycles::new(w));
+            assert!(eta >= prev);
+            prev = eta;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = LeakyBucket::new(Cycles::ZERO, Cycles::ZERO, 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = PeriodicWithJitter::new(Cycles::new(10), Cycles::new(1));
+        let b = LeakyBucket::new(Cycles::new(10), Cycles::new(1), 2);
+        assert!(p.to_string().contains("periodic"));
+        assert!(b.to_string().contains("σ=2"));
+    }
+}

@@ -1,7 +1,9 @@
-//! Homogeneous network configuration parameters.
+//! Network configuration parameters: the homogeneous [`NocConfig`] and the
+//! per-router [`BufferMap`] generalisation.
 
 use std::fmt;
 
+use crate::ids::RouterId;
 use crate::time::Cycles;
 
 /// Architectural parameters shared by every router of a homogeneous network:
@@ -107,6 +109,132 @@ impl fmt::Display for NocConfig {
                 None => "auto".into(),
             }
         )
+    }
+}
+
+/// Per-router virtual-channel buffer depths: the heterogeneous
+/// generalisation of the scalar `buf(Ξ)` that the paper's per-router
+/// `buf(ξᵢ)` notation (§II) allows, following the per-router/per-link
+/// buffer model of Giroudot & Mifdaoui (arXiv:1911.02430).
+///
+/// A map is a *default depth* plus sparse per-router overrides.
+/// [`BufferMap::uniform`] builds the degenerate map every pre-existing
+/// call site uses — one line, and **bit-identical** to the scalar
+/// `NocConfig::buffer_depth` path everywhere (pinned by the workspace's
+/// degenerate-equivalence tests).
+///
+/// # Examples
+///
+/// ```
+/// # use noc_model::config::BufferMap;
+/// # use noc_model::ids::RouterId;
+/// let map = BufferMap::uniform(4).with_router_depth(RouterId::new(2), 16);
+/// assert_eq!(map.depth_at(RouterId::new(0)), 4);
+/// assert_eq!(map.depth_at(RouterId::new(2)), 16);
+/// assert!(!map.is_uniform());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BufferMap {
+    default_depth: u32,
+    /// Sparse per-router overrides, indexed by router; indices beyond the
+    /// vector's length mean "no override".
+    overrides: Vec<Option<u32>>,
+}
+
+impl BufferMap {
+    /// A map where every router has the same `depth` — the scalar
+    /// `buf(Ξ)` configuration as a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero: wormhole switching needs at least one
+    /// flit of buffering per VC.
+    pub fn uniform(depth: u32) -> BufferMap {
+        assert!(depth >= 1, "buffer depth must be at least one flit");
+        BufferMap {
+            default_depth: depth,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with `router`'s depth overridden (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn with_router_depth(mut self, router: RouterId, depth: u32) -> BufferMap {
+        self.set_router_depth(router, depth);
+        self
+    }
+
+    /// Overrides the depth of one router in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn set_router_depth(&mut self, router: RouterId, depth: u32) {
+        assert!(depth >= 1, "buffer depth must be at least one flit");
+        if self.overrides.len() <= router.index() {
+            self.overrides.resize(router.index() + 1, None);
+        }
+        self.overrides[router.index()] = Some(depth);
+    }
+
+    /// Removes the override of one router, restoring the default depth.
+    pub fn clear_router_depth(&mut self, router: RouterId) {
+        if let Some(slot) = self.overrides.get_mut(router.index()) {
+            *slot = None;
+        }
+    }
+
+    /// The depth routers without an override use.
+    pub fn default_depth(&self) -> u32 {
+        self.default_depth
+    }
+
+    /// The per-VC buffer depth at `router` — the override if set, the
+    /// default otherwise. Total over all router indices.
+    pub fn depth_at(&self, router: RouterId) -> u32 {
+        self.overrides
+            .get(router.index())
+            .copied()
+            .flatten()
+            .unwrap_or(self.default_depth)
+    }
+
+    /// The explicit override at `router`, if any.
+    pub fn override_at(&self, router: RouterId) -> Option<u32> {
+        self.overrides.get(router.index()).copied().flatten()
+    }
+
+    /// `true` when every router resolves to the default depth (no override,
+    /// or an override equal to it) — the degenerate scalar configuration.
+    pub fn is_uniform(&self) -> bool {
+        self.overrides
+            .iter()
+            .all(|o| o.is_none() || *o == Some(self.default_depth))
+    }
+
+    /// The largest router index with an explicit override, plus one — the
+    /// router count a consumer must validate against its topology.
+    pub fn override_span(&self) -> usize {
+        self.overrides
+            .iter()
+            .rposition(Option::is_some)
+            .map_or(0, |i| i + 1)
+    }
+}
+
+impl fmt::Display for BufferMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf[default={}", self.default_depth)?;
+        for (i, o) in self.overrides.iter().enumerate() {
+            if let Some(d) = o {
+                write!(f, ", ξ{i}={d}")?;
+            }
+        }
+        write!(f, "]")
     }
 }
 
@@ -234,5 +362,58 @@ mod tests {
         let s = NocConfig::default().to_string();
         assert!(s.contains("buf=2"));
         assert!(s.contains("vc=auto"));
+    }
+
+    #[test]
+    fn uniform_map_resolves_default_everywhere() {
+        let map = BufferMap::uniform(4);
+        assert!(map.is_uniform());
+        assert_eq!(map.default_depth(), 4);
+        assert_eq!(map.override_span(), 0);
+        for r in 0..64 {
+            assert_eq!(map.depth_at(RouterId::new(r)), 4);
+            assert_eq!(map.override_at(RouterId::new(r)), None);
+        }
+    }
+
+    #[test]
+    fn overrides_set_clear_and_span() {
+        let mut map = BufferMap::uniform(2).with_router_depth(RouterId::new(5), 8);
+        assert!(!map.is_uniform());
+        assert_eq!(map.depth_at(RouterId::new(5)), 8);
+        assert_eq!(map.override_at(RouterId::new(5)), Some(8));
+        assert_eq!(map.override_span(), 6);
+        map.set_router_depth(RouterId::new(1), 16);
+        assert_eq!(map.depth_at(RouterId::new(1)), 16);
+        map.clear_router_depth(RouterId::new(5));
+        assert_eq!(map.depth_at(RouterId::new(5)), 2);
+        assert_eq!(map.override_span(), 2);
+    }
+
+    #[test]
+    fn override_equal_to_default_stays_uniform() {
+        let map = BufferMap::uniform(4).with_router_depth(RouterId::new(3), 4);
+        assert!(map.is_uniform());
+        assert_eq!(map.depth_at(RouterId::new(3)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer depth")]
+    fn zero_depth_map_rejected() {
+        let _ = BufferMap::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer depth")]
+    fn zero_depth_override_rejected() {
+        let _ = BufferMap::uniform(2).with_router_depth(RouterId::new(0), 0);
+    }
+
+    #[test]
+    fn buffer_map_display_lists_overrides() {
+        let map = BufferMap::uniform(2).with_router_depth(RouterId::new(3), 9);
+        let s = map.to_string();
+        assert!(s.contains("default=2"));
+        assert!(s.contains("ξ3=9"));
     }
 }

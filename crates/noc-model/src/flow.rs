@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use crate::arrival::LeakyBucket;
 use crate::error::ModelError;
 use crate::ids::{FlowId, NodeId, Priority};
 use crate::time::Cycles;
@@ -37,6 +38,7 @@ pub struct Flow {
     period: Cycles,
     deadline: Cycles,
     jitter: Cycles,
+    burst: u32,
     length_flits: u32,
     source: NodeId,
     dest: NodeId,
@@ -52,6 +54,7 @@ impl Flow {
                 period: Cycles::new(1),
                 deadline: Cycles::ZERO, // sentinel: defaults to period
                 jitter: Cycles::ZERO,
+                burst: 0,
                 length_flits: 1,
                 source,
                 dest,
@@ -79,6 +82,20 @@ impl Flow {
     /// Release jitter Jᵢ.
     pub fn jitter(&self) -> Cycles {
         self.jitter
+    }
+
+    /// Burst allowance σᵢ: how many packets beyond the periodic pattern the
+    /// flow may release at once (0 = the paper's strictly periodic model).
+    pub fn burst(&self) -> u32 {
+        self.burst
+    }
+
+    /// The flow's release model as an arrival curve: a [`LeakyBucket`] over
+    /// (Tᵢ, Jᵢ, σᵢ). With σᵢ = 0 this is bit-identical to the paper's
+    /// periodic-with-jitter curve ([`crate::arrival::PeriodicWithJitter`]) —
+    /// the analyses consume this and nothing else about the release model.
+    pub fn arrival_curve(&self) -> LeakyBucket {
+        LeakyBucket::new(self.period, self.jitter, self.burst)
     }
 
     /// Maximum packet length Lᵢ in flits (header included).
@@ -136,15 +153,13 @@ impl fmt::Display for Flow {
         }
         write!(
             f,
-            "({}, L={}, T={}, D={}, J={}, {}→{})",
-            self.priority,
-            self.length_flits,
-            self.period,
-            self.deadline,
-            self.jitter,
-            self.source,
-            self.dest
-        )
+            "({}, L={}, T={}, D={}, J={}",
+            self.priority, self.length_flits, self.period, self.deadline, self.jitter,
+        )?;
+        if self.burst > 0 {
+            write!(f, ", σ={}", self.burst)?;
+        }
+        write!(f, ", {}→{})", self.source, self.dest)
     }
 }
 
@@ -178,6 +193,13 @@ impl FlowBuilder {
     /// Sets the release jitter Jᵢ. Defaults to zero.
     pub fn jitter(mut self, jitter: Cycles) -> Self {
         self.flow.jitter = jitter;
+        self
+    }
+
+    /// Sets the burst allowance σᵢ (extra packets releasable at once on top
+    /// of the periodic pattern). Defaults to zero — the paper's model.
+    pub fn burst(mut self, burst: u32) -> Self {
+        self.flow.burst = burst;
         self
     }
 
@@ -427,6 +449,35 @@ mod tests {
         assert!(s.contains("τ2"));
         assert!(s.contains("L=198"));
         assert!(s.contains("P2"));
+    }
+
+    #[test]
+    fn burst_defaults_to_zero_and_round_trips() {
+        let f = flow(1, 100);
+        assert_eq!(f.burst(), 0);
+        let g = Flow::builder(NodeId::new(0), NodeId::new(1))
+            .period(Cycles::new(100))
+            .burst(3)
+            .build();
+        assert_eq!(g.burst(), 3);
+        assert!(g.to_string().contains("σ=3"));
+        assert!(FlowSet::new(vec![g]).is_ok());
+    }
+
+    #[test]
+    fn arrival_curve_reflects_flow_parameters() {
+        use crate::arrival::ArrivalCurve;
+        let f = Flow::builder(NodeId::new(0), NodeId::new(1))
+            .period(Cycles::new(200))
+            .jitter(Cycles::new(20))
+            .burst(2)
+            .build();
+        let curve = f.arrival_curve();
+        assert_eq!(curve.period(), Cycles::new(200));
+        assert_eq!(curve.jitter(), Cycles::new(20));
+        assert_eq!(curve.burst(), 2);
+        // ⌈(181 + 20)/200⌉ + 2 = 2 + 2.
+        assert_eq!(curve.max_arrivals(Cycles::new(181)), 4);
     }
 
     #[test]

@@ -45,8 +45,9 @@
 //! | [`time`] | the [`Cycles`] time unit every latency is measured in |
 //! | [`topology`] | §II platform model: routers ξ, nodes, unidirectional links λ, 2D meshes |
 //! | [`route`], [`routing`] | `routeᵢ` and the deterministic routing functions (XY/YX/table) |
-//! | [`flow`] | §II traffic-flow model τᵢ = (Pᵢ, Cᵢ, Tᵢ, Dᵢ, Jᵢ, πˢᵢ, πᵈᵢ) |
-//! | [`config`], [`system`] | `buf(Ξ)`, `vc(Ξ)`, `linkl(Ξ)`, `routl(Ξ)`; the routed [`System`] and Equation 1 ([`System::zero_load_latency`]) |
+//! | [`flow`] | §II traffic-flow model τᵢ = (Pᵢ, Cᵢ, Tᵢ, Dᵢ, Jᵢ, πˢᵢ, πᵈᵢ), plus the burst allowance σᵢ |
+//! | [`arrival`] | release models as arrival curves η(w): periodic-with-jitter (the paper) and the bursty leaky bucket |
+//! | [`config`], [`system`] | `buf(Ξ)`, `vc(Ξ)`, `linkl(Ξ)`, `routl(Ξ)`; per-router [`BufferMap`](config::BufferMap); the routed [`System`] and Equation 1 ([`System::zero_load_latency`]) |
 //! | [`contention`] | §III: contention domains `cd(i,j)`, interference sets `S^D_i`/`S^I_i`, up/down partitions |
 //!
 //! Downstream crates build on this model: `noc-analysis` implements the
@@ -75,6 +76,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod config;
 pub mod contention;
 pub mod error;
@@ -88,7 +90,8 @@ pub mod topology;
 
 /// Convenient re-exports of the types needed by almost every user.
 pub mod prelude {
-    pub use crate::config::NocConfig;
+    pub use crate::arrival::{ArrivalCurve, LeakyBucket, PeriodicWithJitter};
+    pub use crate::config::{BufferMap, NocConfig};
     pub use crate::contention::InterferenceGraph;
     pub use crate::error::ModelError;
     pub use crate::flow::{Flow, FlowSet};

@@ -1,6 +1,6 @@
 //! The complete analysable system: topology + configuration + routed flows.
 
-use crate::config::NocConfig;
+use crate::config::{BufferMap, NocConfig};
 use crate::error::ModelError;
 use crate::flow::{Flow, FlowSet};
 use crate::ids::{FlowId, LinkId, RouterId};
@@ -38,9 +38,10 @@ pub struct System {
     config: NocConfig,
     flows: FlowSet,
     routes: Vec<Route>,
-    /// Per-router buffer-depth overrides (None = the homogeneous
-    /// `config.buffer_depth()`), indexed by router.
-    buffer_overrides: Vec<Option<u32>>,
+    /// Per-router buffer depths. Invariant: `buffers.default_depth()`
+    /// always equals `config.buffer_depth()`, so the scalar accessor and
+    /// the map never disagree about un-overridden routers.
+    buffers: BufferMap,
 }
 
 impl System {
@@ -71,13 +72,13 @@ impl System {
         for (_, flow) in flows.iter() {
             routes.push(routing.route(&topology, flow.source(), flow.dest())?);
         }
-        let buffer_overrides = vec![None; topology.router_count()];
+        let buffers = BufferMap::uniform(config.buffer_depth());
         Ok(System {
             topology,
             config,
             flows,
             routes,
-            buffer_overrides,
+            buffers,
         })
     }
 
@@ -190,7 +191,7 @@ impl System {
                 config: self.config,
                 flows,
                 routes,
-                buffer_overrides: self.buffer_overrides.clone(),
+                buffers: self.buffers.clone(),
             },
             id,
         ))
@@ -226,7 +227,7 @@ impl System {
             config: self.config,
             flows,
             routes,
-            buffer_overrides: self.buffer_overrides.clone(),
+            buffers: self.buffers.clone(),
         })
     }
 
@@ -265,7 +266,39 @@ impl System {
             config: self.config.with_buffer_depth(depth),
             flows: self.flows.clone(),
             routes: self.routes.clone(),
-            buffer_overrides: vec![None; self.topology.router_count()],
+            buffers: BufferMap::uniform(depth),
+        }
+    }
+
+    /// The per-router buffer-depth map `buf(ξ)`.
+    pub fn buffer_map(&self) -> &BufferMap {
+        &self.buffers
+    }
+
+    /// Returns a copy of the system with its whole buffer configuration
+    /// replaced by `map` — the heterogeneous counterpart of
+    /// [`System::with_buffer_depth`]. The scalar `config.buffer_depth()` is
+    /// kept in sync with the map's default depth, so uniform maps are
+    /// bit-identical to the scalar path everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map carries an override for a router this topology
+    /// does not have.
+    #[must_use]
+    pub fn with_buffer_map(&self, map: BufferMap) -> System {
+        assert!(
+            map.override_span() <= self.topology.router_count(),
+            "buffer map overrides {} routers but the topology has {}",
+            map.override_span(),
+            self.topology.router_count()
+        );
+        System {
+            topology: self.topology.clone(),
+            config: self.config.with_buffer_depth(map.default_depth()),
+            flows: self.flows.clone(),
+            routes: self.routes.clone(),
+            buffers: map,
         }
     }
 
@@ -286,7 +319,7 @@ impl System {
         );
         assert!(depth >= 1, "buffer depth must be at least one flit");
         let mut copy = self.clone();
-        copy.buffer_overrides[router.index()] = Some(depth);
+        copy.buffers.set_router_depth(router, depth);
         copy
     }
 
@@ -297,7 +330,11 @@ impl System {
     ///
     /// Panics if `router` is out of bounds.
     pub fn buffer_depth_at(&self, router: RouterId) -> u32 {
-        self.buffer_overrides[router.index()].unwrap_or(self.config.buffer_depth())
+        assert!(
+            router.index() < self.topology.router_count(),
+            "unknown router {router}"
+        );
+        self.buffers.depth_at(router)
     }
 
     /// The buffer depth of the input VC fed by `link` — the depth at the
@@ -317,7 +354,7 @@ impl System {
     /// `true` if any router's buffer depth differs from the homogeneous
     /// configuration.
     pub fn has_heterogeneous_buffers(&self) -> bool {
-        self.buffer_overrides.iter().any(Option::is_some)
+        !self.buffers.is_uniform()
     }
 
     /// Returns a copy of the system with every period and deadline scaled
@@ -356,6 +393,7 @@ impl System {
                     .period(scale(f.period()))
                     .deadline(scale(f.deadline()))
                     .jitter(f.jitter())
+                    .burst(f.burst())
                     .length_flits(f.length_flits());
                 if let Some(name) = f.name() {
                     b = b.name(name);
@@ -368,7 +406,7 @@ impl System {
             config: self.config,
             flows: FlowSet::new(scaled)?,
             routes: self.routes.clone(),
-            buffer_overrides: self.buffer_overrides.clone(),
+            buffers: self.buffers.clone(),
         })
     }
 
@@ -494,6 +532,71 @@ mod tests {
             big.zero_load_latency(FlowId::new(0)),
             sys.zero_load_latency(FlowId::new(0))
         );
+    }
+
+    #[test]
+    fn buffer_map_round_trips_through_system() {
+        use crate::config::BufferMap;
+        use crate::ids::RouterId;
+        let sys = simple_system(10, 2);
+        assert!(sys.buffer_map().is_uniform());
+        assert_eq!(sys.buffer_map().default_depth(), 2);
+
+        let map = BufferMap::uniform(4).with_router_depth(RouterId::new(1), 9);
+        let hetero = sys.with_buffer_map(map.clone());
+        assert_eq!(hetero.buffer_map(), &map);
+        // The scalar accessor stays in sync with the map's default.
+        assert_eq!(hetero.config().buffer_depth(), 4);
+        assert_eq!(hetero.buffer_depth_at(RouterId::new(0)), 4);
+        assert_eq!(hetero.buffer_depth_at(RouterId::new(1)), 9);
+        assert!(hetero.has_heterogeneous_buffers());
+        // Routes and latencies are untouched by buffer reconfiguration.
+        assert_eq!(hetero.route(FlowId::new(0)), sys.route(FlowId::new(0)));
+        assert_eq!(
+            hetero.zero_load_latency(FlowId::new(0)),
+            sys.zero_load_latency(FlowId::new(0))
+        );
+    }
+
+    #[test]
+    fn uniform_buffer_map_equals_scalar_path() {
+        use crate::config::BufferMap;
+        use crate::ids::RouterId;
+        let sys = simple_system(10, 2);
+        let via_map = sys.with_buffer_map(BufferMap::uniform(7));
+        let via_scalar = sys.with_buffer_depth(7);
+        assert_eq!(via_map.config(), via_scalar.config());
+        assert!(!via_map.has_heterogeneous_buffers());
+        for r in 0..4 {
+            assert_eq!(
+                via_map.buffer_depth_at(RouterId::new(r)),
+                via_scalar.buffer_depth_at(RouterId::new(r))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer map overrides")]
+    fn oversized_buffer_map_rejected() {
+        use crate::config::BufferMap;
+        use crate::ids::RouterId;
+        let sys = simple_system(10, 2);
+        let _ = sys.with_buffer_map(BufferMap::uniform(2).with_router_depth(RouterId::new(99), 3));
+    }
+
+    #[test]
+    fn scaled_periods_preserve_burst() {
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+            .priority(Priority::new(1))
+            .period(Cycles::new(1_000))
+            .burst(3)
+            .length_flits(8)
+            .build()])
+        .unwrap();
+        let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+        let scaled = sys.with_scaled_periods(2, 1).unwrap();
+        assert_eq!(scaled.flow(FlowId::new(0)).burst(), 3);
     }
 
     #[test]

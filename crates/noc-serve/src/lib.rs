@@ -16,7 +16,10 @@
 //!
 //! * [`Query::Admission`] — add a candidate flow, re-certify, roll back;
 //! * [`Query::Removal`] — retire an existing flow, re-certify, restore;
-//! * [`Query::BufferWhatIf`] — re-certify at a different buffer depth.
+//! * [`Query::BufferWhatIf`] — re-certify at a different buffer depth;
+//! * [`Query::RouterBufferWhatIf`] — re-certify with **one** router's
+//!   buffers resized (heterogeneous depths), served through the shard's
+//!   [`IncrementalContext::resize_buffer`] with a restore afterwards.
 //!
 //! Every query answers with a [`QueryOutcome`]; the batch reports wall
 //! time and queries/second in its [`BatchReport`].
@@ -117,6 +120,19 @@ pub enum Query {
     /// served from the shared base context without any graph work.
     BufferWhatIf {
         /// Hypothetical homogeneous buffer depth, in flits (≥ 1).
+        depth: u32,
+    },
+    /// Is the system schedulable when **one** router's buffers are resized
+    /// to `depth` flits, all other routers keeping their base depth? The
+    /// heterogeneous counterpart of [`Query::BufferWhatIf`] — e.g. scoring
+    /// a cheaper switch at a single mesh position. Served through the
+    /// shard's [`IncrementalContext::resize_buffer`], which re-solves only
+    /// the flows whose buffered-interference terms read that router; the
+    /// depth is restored afterwards, so queries stay independent.
+    RouterBufferWhatIf {
+        /// The router whose buffers are hypothetically resized.
+        router: noc_model::ids::RouterId,
+        /// Hypothetical buffer depth at that router, in flits (≥ 1).
         depth: u32,
     },
 }
@@ -429,6 +445,13 @@ fn validate(base: &AnalysisContext<'_>, query: &Query) -> Option<String> {
         Query::BufferWhatIf { depth } => {
             (*depth == 0).then(|| "buffer what-if depth must be at least 1 flit".to_string())
         }
+        Query::RouterBufferWhatIf { router, depth } => {
+            if *depth == 0 {
+                return Some("buffer what-if depth must be at least 1 flit".to_string());
+            }
+            (router.index() >= base.system().topology().router_count())
+                .then(|| format!("no router {router} in the base topology"))
+        }
     }
 }
 
@@ -570,6 +593,21 @@ impl<'a> Shard<'a> {
                     },
                 }
             }
+            Query::RouterBufferWhatIf { router, depth } => {
+                let original = self.ctx.system().buffer_depth_at(*router);
+                self.ctx.resize_buffer(*router, *depth);
+                let result = self.analyze(budget);
+                // Interpret before restoring: the degraded bound describes
+                // the resized system. (The conservative bound ignores
+                // buffer depths, but the report must still be taken from
+                // the what-if state for consistency.)
+                let outcome = outcome_of(result, || self.ctx.conservative_report());
+                // Restoring sets an override equal to the original depth,
+                // which is numerically identical to the base system on
+                // every analysis path.
+                self.ctx.resize_buffer(*router, original);
+                outcome
+            }
         }
     }
 }
@@ -665,19 +703,25 @@ fn serve_isolated(
     }
 }
 
-/// A deterministic sample query mix for demos and benchmarks: half
-/// admissions (templated on existing source/dest pairs with a fresh
-/// priority), a quarter removals, a quarter buffer what-ifs.
+/// A deterministic sample query mix for demos and benchmarks: admissions
+/// (templated on existing source/dest pairs with a fresh priority),
+/// removals, homogeneous buffer what-ifs, and single-router buffer
+/// what-ifs, in a 2:1:1:1 ratio.
 pub fn sample_queries(system: &noc_model::system::System, n: usize) -> Vec<Query> {
     let ids: Vec<FlowId> = system.flows().ids().collect();
+    let routers = system.topology().router_count();
     let fresh_priority = noc_model::ids::Priority::new(ids.len() as u32 + 1);
     (0..n)
-        .map(|i| match i % 4 {
+        .map(|i| match i % 5 {
             2 => Query::Removal {
                 id: ids[i % ids.len()],
             },
             3 => Query::BufferWhatIf {
                 depth: 1 + (i % 8) as u32,
+            },
+            4 => Query::RouterBufferWhatIf {
+                router: noc_model::ids::RouterId::new((i % routers) as u32),
+                depth: 2 + (i % 7) as u32,
             },
             _ => {
                 let template = system.flows().flow(ids[i % ids.len()]);
@@ -862,6 +906,14 @@ mod tests {
                     flow: mesh_flow((0, 10, 6, 3500)),
                 },
                 Query::Removal { id: FlowId::new(3) },
+                Query::RouterBufferWhatIf {
+                    router: RouterId::new(5),
+                    depth: 16,
+                },
+                Query::RouterBufferWhatIf {
+                    router: RouterId::new(0),
+                    depth: 1,
+                },
             ],
         }
     }
@@ -893,6 +945,9 @@ mod tests {
                 }
                 Query::Removal { id } => sys.without_flow(*id).unwrap(),
                 Query::BufferWhatIf { depth } => sys.with_buffer_depth(*depth),
+                Query::RouterBufferWhatIf { router, depth } => {
+                    sys.with_router_buffer_depth(*router, *depth)
+                }
             };
             let report = batch.analysis.as_analysis().analyze(&expected_sys).unwrap();
             assert_eq!(outcome, &QueryOutcome::from_report(&report), "{query:?}");
@@ -928,12 +983,23 @@ mod tests {
                 },
                 // Zero buffer depth.
                 Query::BufferWhatIf { depth: 0 },
+                // Zero per-router depth.
+                Query::RouterBufferWhatIf {
+                    router: RouterId::new(3),
+                    depth: 0,
+                },
+                // Router outside the 4x4 mesh.
+                Query::RouterBufferWhatIf {
+                    router: RouterId::new(16),
+                    depth: 4,
+                },
                 // A sane query after the failures still works.
                 Query::BufferWhatIf { depth: 4 },
             ],
         };
         let report = run_batch(&base, &batch, &XyRouting, 2);
-        for (i, outcome) in report.outcomes[..5].iter().enumerate() {
+        let invalid = batch.queries.len() - 1;
+        for (i, outcome) in report.outcomes[..invalid].iter().enumerate() {
             assert!(
                 matches!(
                     outcome,
@@ -944,8 +1010,53 @@ mod tests {
                 "query {i}: {outcome:?}"
             );
         }
-        assert!(!matches!(report.outcomes[5], QueryOutcome::Failed { .. }));
-        assert_eq!(report.tally().failed, 5);
+        assert!(!matches!(
+            report.outcomes[invalid],
+            QueryOutcome::Failed { .. }
+        ));
+        assert_eq!(report.tally().failed, invalid);
+    }
+
+    #[test]
+    fn router_what_if_restores_the_shard_for_later_queries() {
+        // A heterogeneous what-if must not leak its override into the
+        // queries served after it on the same shard: single-threaded so
+        // every query shares one shard, with the what-if first.
+        let sys = base_system();
+        let base = AnalysisContext::new(&sys).unwrap();
+        let mut queries = vec![Query::RouterBufferWhatIf {
+            router: RouterId::new(6),
+            depth: 64,
+        }];
+        queries.extend(sample_batch().queries);
+        let batch = QueryBatch {
+            analysis: AnalysisKind::BufferAware,
+            queries,
+        };
+        let expected = run_batch(&base, &sample_batch(), &XyRouting, 1);
+        let got = run_batch(&base, &batch, &XyRouting, 1);
+        assert_eq!(&got.outcomes[1..], &expected.outcomes[..]);
+    }
+
+    #[test]
+    fn router_what_if_against_heterogeneous_base() {
+        // The base system itself already has a per-router override; a
+        // what-if on a *different* router must answer against the oracle
+        // and leave the base override intact.
+        let sys = base_system().with_router_buffer_depth(RouterId::new(10), 8);
+        let base = AnalysisContext::new(&sys).unwrap();
+        let query = Query::RouterBufferWhatIf {
+            router: RouterId::new(5),
+            depth: 3,
+        };
+        let batch = QueryBatch {
+            analysis: AnalysisKind::BufferAware,
+            queries: vec![query, Query::BufferWhatIf { depth: 4 }],
+        };
+        let report = run_batch(&base, &batch, &XyRouting, 1);
+        let oracle_sys = sys.with_router_buffer_depth(RouterId::new(5), 3);
+        let oracle = batch.analysis.as_analysis().analyze(&oracle_sys).unwrap();
+        assert_eq!(report.outcomes[0], QueryOutcome::from_report(&oracle));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Release plans: when each flow's packets enter their source queues.
 
+use noc_model::arrival::ArrivalCurve;
 use noc_model::ids::FlowId;
 use noc_model::system::System;
 use noc_model::time::Cycles;
@@ -169,6 +170,12 @@ impl ReleasePlan {
 
     /// Release time of packet `k` (0-based) of `flow` under this plan, or
     /// `None` if the flow is limited to fewer packets.
+    ///
+    /// The nominal (pre-jitter) time is the flow's arrival curve's
+    /// worst-case realisation, `T · max(0, k − σ)`: a flow with burst
+    /// allowance σ releases its first `σ + 1` packets together at the
+    /// offset and the tail strictly periodically. For σ = 0 this is the
+    /// plain periodic schedule `offset + T·k` the plan always produced.
     pub fn release_time(&self, system: &System, flow: FlowId, k: u64) -> Option<Cycles> {
         if let Some(limit) = self.limits[flow.index()] {
             if k >= limit {
@@ -177,7 +184,7 @@ impl ReleasePlan {
         }
         let f = system.flow(flow);
         let delay = self.jitter[flow.index()].delay(flow, k, f.jitter());
-        Some(self.offsets[flow.index()] + f.period() * k + delay)
+        Some(self.offsets[flow.index()] + f.arrival_curve().nominal_release(k) + delay)
     }
 
     /// The earliest release time strictly after `now`, across all flows,
@@ -341,6 +348,60 @@ mod tests {
             Some(Cycles::new(100))
         );
         assert_eq!(plan.next_release_after(&sys, Cycles::new(100)), None);
+    }
+
+    fn bursty_system(burst: u32) -> System {
+        let topology = Topology::mesh(2, 1);
+        let flows = FlowSet::new(vec![Flow::builder(NodeId::new(0), NodeId::new(1))
+            .priority(Priority::new(1))
+            .period(Cycles::new(100))
+            .burst(burst)
+            .build()])
+        .unwrap();
+        System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap()
+    }
+
+    #[test]
+    fn bursty_flow_front_loads_sigma_plus_one_packets() {
+        let sys = bursty_system(2);
+        let f = FlowId::new(0);
+        let plan = ReleasePlan::synchronous(&sys).with_offset(f, Cycles::new(5));
+        assert_eq!(plan.release_time(&sys, f, 0), Some(Cycles::new(5)));
+        assert_eq!(plan.release_time(&sys, f, 1), Some(Cycles::new(5)));
+        assert_eq!(plan.release_time(&sys, f, 2), Some(Cycles::new(5)));
+        assert_eq!(plan.release_time(&sys, f, 3), Some(Cycles::new(105)));
+        assert_eq!(plan.release_time(&sys, f, 4), Some(Cycles::new(205)));
+    }
+
+    #[test]
+    fn bursty_next_release_skips_the_simultaneous_burst() {
+        let sys = bursty_system(3);
+        // Packets 0..=3 release at 0; the next distinct instant is T.
+        assert_eq!(
+            plan_next(&sys, Cycles::ZERO),
+            Some(Cycles::new(100)),
+            "burst collapses to one instant"
+        );
+    }
+
+    fn plan_next(sys: &System, now: Cycles) -> Option<Cycles> {
+        ReleasePlan::synchronous(sys).next_release_after(sys, now)
+    }
+
+    #[test]
+    fn zero_burst_schedule_is_identical_to_periodic() {
+        let periodic = system();
+        let zero_burst = bursty_system(0);
+        let f = FlowId::new(0);
+        let a = ReleasePlan::synchronous(&periodic);
+        let b = ReleasePlan::synchronous(&zero_burst);
+        for k in 0..20 {
+            assert_eq!(
+                a.release_time(&periodic, f, k),
+                b.release_time(&zero_burst, f, k),
+                "packet {k}"
+            );
+        }
     }
 
     #[test]

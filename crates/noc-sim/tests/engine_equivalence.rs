@@ -525,6 +525,102 @@ fn randomized_jitter_matches_reference() {
     }
 }
 
+/// Two SoA runs must agree bit-for-bit: latency sequences, delivered
+/// counts and full traces.
+fn assert_sims_identical(a: &Simulator<'_>, b: &Simulator<'_>, label: &str) {
+    for (idx, (sa, sb)) in a.stats().iter().zip(b.stats().iter()).enumerate() {
+        let la: Vec<u64> = sa.latencies().map(|c| c.as_u64()).collect();
+        let lb: Vec<u64> = sb.latencies().map(|c| c.as_u64()).collect();
+        assert_eq!(la, lb, "{label}: latency sequence of flow {idx}");
+        assert_eq!(sa.delivered(), sb.delivered(), "{label}: flow {idx}");
+    }
+    assert_eq!(a.trace(), b.trace(), "{label}: traces differ");
+}
+
+#[test]
+fn uniform_buffer_map_is_bit_identical_to_scalar_depth() {
+    // The degenerate BufferMap — uniform, or with overrides equal to the
+    // default — must reproduce the scalar-depth simulation exactly: same
+    // latencies, same delivered counts, same trace event sequence.
+    let scalar = didactic::system(4);
+    let uniform = scalar.clone().with_buffer_map(BufferMap::uniform(4));
+    let mut redundant_map = BufferMap::uniform(4);
+    for r in 0..scalar.topology().router_count() {
+        redundant_map.set_router_depth(RouterId::new(r as u32), 4);
+    }
+    let redundant = scalar.clone().with_buffer_map(redundant_map);
+    assert!(!uniform.has_heterogeneous_buffers());
+    assert!(!redundant.has_heterogeneous_buffers());
+
+    fn run(sys: &System) -> Simulator<'_> {
+        let mut sim = Simulator::new(sys, ReleasePlan::synchronous(sys));
+        sim.enable_trace();
+        sim.run_until(Cycles::new(18_000));
+        sim
+    }
+    let (a, b, c) = (run(&scalar), run(&uniform), run(&redundant));
+    assert_sims_identical(&a, &b, "scalar vs uniform map");
+    assert_sims_identical(&a, &c, "scalar vs redundant overrides");
+}
+
+#[test]
+fn heterogeneous_depths_match_reference() {
+    // Per-router depths through the SoA engine against the scan-based
+    // reference (whose per-VC capacities come from the same
+    // buffer_depth_of_link API but are enforced by a completely different
+    // mechanism: VecDeque capacity vs flat credit counters).
+    let base = didactic::system(2);
+    let sys = base
+        .with_router_buffer_depth(RouterId::new(1), 6)
+        .with_router_buffer_depth(RouterId::new(3), 3);
+    assert!(sys.has_heterogeneous_buffers());
+    let plan = ReleasePlan::synchronous(&sys);
+    let reference = run_reference(&sys, &plan, 18_000);
+    let mut sim = Simulator::new(&sys, plan);
+    sim.enable_trace();
+    sim.run_until(Cycles::new(18_000));
+    assert_matches_reference(&sim, &reference, "heterogeneous depths");
+}
+
+#[test]
+fn bursty_release_matches_reference() {
+    // A burst releases σ+1 packets at the same cycle: the release heap's
+    // same-instant multi-release must reproduce the reference's
+    // scan-based release order exactly, including source-queue backlog.
+    let topology = Topology::mesh(3, 1);
+    let flows = FlowSet::new(vec![
+        Flow::builder(NodeId::new(0), NodeId::new(2))
+            .priority(Priority::new(1))
+            .period(Cycles::new(300))
+            .burst(2)
+            .length_flits(12)
+            .build(),
+        Flow::builder(NodeId::new(1), NodeId::new(2))
+            .priority(Priority::new(2))
+            .period(Cycles::new(500))
+            .jitter(Cycles::new(90))
+            .burst(1)
+            .length_flits(20)
+            .build(),
+    ])
+    .unwrap();
+    let sys = System::new(topology, NocConfig::default(), flows, &XyRouting).unwrap();
+    for (label, pattern) in [
+        ("none", JitterPattern::None),
+        ("seeded", JitterPattern::Seeded(17)),
+    ] {
+        let mut plan = ReleasePlan::synchronous(&sys);
+        for flow in sys.flows().ids() {
+            plan = plan.with_jitter(flow, pattern);
+        }
+        let reference = run_reference(&sys, &plan, 20_000);
+        let mut sim = Simulator::new(&sys, plan);
+        sim.enable_trace();
+        sim.run_until(Cycles::new(20_000));
+        assert_matches_reference(&sim, &reference, &format!("bursty jitter={label}"));
+    }
+}
+
 #[test]
 fn run_until_delivered_matches_reference() {
     let sys = didactic::system(2);

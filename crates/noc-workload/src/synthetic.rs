@@ -66,6 +66,16 @@ pub struct SyntheticSpec {
     pub priority_policy: PriorityPolicy,
     /// Spatial traffic pattern.
     pub pattern: TrafficPattern,
+    /// Burst allowance range σ (inclusive), drawn uniformly per flow.
+    /// `(0, 0)` — the default of [`SyntheticSpec::paper`] — keeps every
+    /// flow strictly periodic and the generator bit-identical to the
+    /// burst-free generator.
+    pub burst_range: (u32, u32),
+    /// Per-router buffer-depth range (inclusive). `None` (the paper's
+    /// setup) keeps every router at the uniform depth of `config`; with
+    /// `Some((lo, hi))` each router's depth is drawn uniformly from the
+    /// range, producing a heterogeneous [`BufferMap`].
+    pub buffer_depth_range: Option<(u32, u32)>,
 }
 
 impl SyntheticSpec {
@@ -92,7 +102,26 @@ impl SyntheticSpec {
                 .build(),
             priority_policy: PriorityPolicy::RateMonotonic,
             pattern: TrafficPattern::UniformRandom,
+            burst_range: (0, 0),
+            buffer_depth_range: None,
         }
+    }
+
+    /// Draws each flow's burst allowance σ uniformly from `lo..=hi`.
+    #[must_use]
+    pub fn with_burst_range(mut self, lo: u32, hi: u32) -> SyntheticSpec {
+        assert!(lo <= hi, "empty burst range");
+        self.burst_range = (lo, hi);
+        self
+    }
+
+    /// Draws each router's buffer depth uniformly from `lo..=hi` (flits),
+    /// producing a heterogeneous buffer map over the mesh.
+    #[must_use]
+    pub fn with_buffer_depth_range(mut self, lo: u32, hi: u32) -> SyntheticSpec {
+        assert!(lo >= 1 && lo <= hi, "buffer depth range must be ≥ 1");
+        self.buffer_depth_range = Some((lo, hi));
+        self
     }
 
     fn draw_endpoints(&self, rng: &mut StdRng, nodes: u32, flow_index: usize) -> (u32, u32) {
@@ -171,6 +200,7 @@ impl SyntheticSpec {
         let mut endpoints = Vec::with_capacity(self.n_flows);
         let mut periods = Vec::with_capacity(self.n_flows);
         let mut lengths = Vec::with_capacity(self.n_flows);
+        let mut bursts = Vec::with_capacity(self.n_flows);
         for flow_index in 0..self.n_flows {
             let (src, dst) = self.draw_endpoints(&mut rng, nodes, flow_index);
             endpoints.push((NodeId::new(src), NodeId::new(dst)));
@@ -178,6 +208,14 @@ impl SyntheticSpec {
                 rng.gen_range(self.period_range.0..=self.period_range.1),
             ));
             lengths.push(rng.gen_range(self.length_range.0..=self.length_range.1));
+            // Skipping the draw entirely when the range is degenerate keeps
+            // the rng stream — and hence every generated flow set — bit-
+            // identical to the burst-free generator.
+            bursts.push(if self.burst_range.1 > 0 {
+                rng.gen_range(self.burst_range.0..=self.burst_range.1)
+            } else {
+                0
+            });
         }
         let priorities = self.priority_policy.assign(&periods, &mut rng);
 
@@ -189,13 +227,21 @@ impl SyntheticSpec {
                         .period(periods[i])
                         .jitter(self.jitter)
                         .length_flits(lengths[i])
+                        .burst(bursts[i])
                         .build()
                 })
                 .collect(),
         )
         .expect("generated flows are valid by construction");
-        let system = System::new(topology, self.config, flows, &XyRouting)
+        let mut system = System::new(topology, self.config, flows, &XyRouting)
             .expect("XY routing on a mesh cannot fail");
+        if let Some((lo, hi)) = self.buffer_depth_range {
+            let mut map = BufferMap::uniform(self.config.buffer_depth());
+            for router in 0..system.topology().router_count() {
+                map.set_router_depth(RouterId::new(router as u32), rng.gen_range(lo..=hi));
+            }
+            system = system.with_buffer_map(map);
+        }
         SyntheticWorkload { seed, system }
     }
 }
@@ -284,6 +330,53 @@ mod tests {
         assert_eq!(w.system().topology().node_count(), 64);
         assert_eq!(w.system().config().buffer_depth(), 100);
         assert_eq!(w.seed(), 0);
+    }
+
+    #[test]
+    fn default_spec_is_periodic_and_uniform() {
+        let w = spec().generate(21);
+        assert!(w.system().flows().iter().all(|(_, f)| f.burst() == 0));
+        assert!(!w.system().has_heterogeneous_buffers());
+    }
+
+    #[test]
+    fn burst_range_draws_within_bounds() {
+        let w = spec().with_burst_range(1, 4).generate(13);
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, f) in w.system().flows().iter() {
+            assert!((1..=4).contains(&f.burst()), "σ = {}", f.burst());
+            seen.insert(f.burst());
+        }
+        assert!(seen.len() > 1, "40 draws should hit several burst values");
+    }
+
+    #[test]
+    fn buffer_depth_range_produces_heterogeneous_map() {
+        let w = spec().with_buffer_depth_range(2, 9).generate(17);
+        let sys = w.system();
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..sys.topology().router_count() {
+            let d = sys.buffer_depth_at(RouterId::new(r as u32));
+            assert!((2..=9).contains(&d), "depth {d}");
+            seen.insert(d);
+        }
+        assert!(seen.len() > 1, "16 routers should draw several depths");
+        assert!(sys.has_heterogeneous_buffers());
+    }
+
+    #[test]
+    fn bursty_hetero_generation_is_deterministic() {
+        let make = || {
+            spec()
+                .with_burst_range(0, 3)
+                .with_buffer_depth_range(2, 6)
+                .generate(99)
+        };
+        let (a, b) = (make(), make());
+        for id in a.system().flows().ids() {
+            assert_eq!(a.system().flow(id), b.system().flow(id));
+        }
+        assert_eq!(a.system().buffer_map(), b.system().buffer_map());
     }
 
     #[test]

@@ -15,10 +15,11 @@ use std::sync::Once;
 use noc_mpb::prelude::*;
 use noc_mpb::serve::fault::{Fault, FaultPlan};
 use noc_mpb::serve::{
-    run_batch, run_batch_with, sample_queries, DegradeReason, QueryBatch, QueryOutcome, ServeError,
-    ServeOptions,
+    run_batch, run_batch_with, sample_queries, DegradeReason, Query, QueryBatch, QueryOutcome,
+    ServeError, ServeOptions,
 };
 use noc_mpb::workload::didactic;
+use noc_mpb::workload::synthetic::SyntheticSpec;
 
 /// Injected-fault panics are caught and retried by the serving layer;
 /// keep the default hook from spraying their backtraces over the test
@@ -153,6 +154,47 @@ fn chaos_batches_are_terminal_explainable_and_hermetic() {
     // is bit-identical to the never-faulted one — caught panics and
     // re-forked shards leaked nothing into the shared context.
     let after = run_batch(&base, &batch, &table, 4).outcomes;
+    assert_eq!(
+        clean, after,
+        "clean serving after chaos must match the never-faulted run"
+    );
+}
+
+/// Heterogeneous what-ifs under chaos: the base system already carries
+/// per-router overrides and bursty sources, and the batch piles explicit
+/// [`Query::RouterBufferWhatIf`]s (deepening *and* shrinking overridden
+/// routers) on top of the samples. Faulted shards must restore the
+/// resized base exactly — the hermeticity check at the end would catch a
+/// shard that leaked a what-if depth into later answers.
+#[test]
+fn heterogeneous_what_ifs_survive_chaos() {
+    quiet_injected_panics();
+    let system = SyntheticSpec::paper(4, 4, 16, 2)
+        .with_buffer_depth_range(2, 8)
+        .with_burst_range(0, 2)
+        .generate(0xBEEF)
+        .into_system();
+    assert!(system.has_heterogeneous_buffers());
+    let base = AnalysisContext::new(&system).expect("heterogeneous base is analysable");
+
+    let mut queries = sample_queries(&system, 20);
+    for r in 0..8u32 {
+        queries.push(Query::RouterBufferWhatIf {
+            router: RouterId::new(r * 2),
+            depth: 1 + r,
+        });
+    }
+    let batch = QueryBatch {
+        analysis: AnalysisKind::BufferAware,
+        queries,
+    };
+
+    let clean = run_batch(&base, &batch, &XyRouting, 4).outcomes;
+    for seed in [0xC4A0_0006, 0xC4A0_0007] {
+        exercise_seed(seed, &base, &batch, &XyRouting, &clean);
+    }
+
+    let after = run_batch(&base, &batch, &XyRouting, 4).outcomes;
     assert_eq!(
         clean, after,
         "clean serving after chaos must match the never-faulted run"

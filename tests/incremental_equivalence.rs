@@ -1,14 +1,18 @@
 //! Regression guard for the incremental delta path: an
-//! [`IncrementalContext`] driven through randomized add/remove [`Delta`]
-//! sequences must report **bit-identically** — for all five analyses —
-//! to a fresh [`AnalysisContext`] derived from scratch over the same
-//! mutated system after every single step.
+//! [`IncrementalContext`] driven through randomized add/remove/resize
+//! [`Delta`] sequences must report **bit-identically** — for all five
+//! analyses — to a fresh [`AnalysisContext`] derived from scratch over the
+//! same mutated system after every single step.
 //!
 //! The sequences deliberately recycle priorities freed by removals, so
 //! additions land in the *middle* of the priority order (not just at the
 //! bottom), exercising dirty-bit propagation through both the direct and
 //! indirect interference sets of flows above and below the insertion
-//! point.
+//! point. Interleaved [`Delta::ResizeBuffer`] steps retarget random
+//! routers at random depths (including depth 1 and back), and candidate
+//! flows carry random burst allowances, so the buffer-aware cache
+//! invalidation and the arrival-curve plumbing are both exercised on the
+//! same sequences.
 
 use noc_mpb::prelude::*;
 use noc_mpb::workload::didactic;
@@ -80,6 +84,7 @@ fn random_candidate(
         .priority(priority)
         .period(Cycles::new(500 + 250 * rng.below(16)))
         .length_flits(4 + rng.below(60) as u32)
+        .burst(rng.below(3) as u32)
         .build()
 }
 
@@ -109,6 +114,17 @@ fn exercise(
 
     for step in 0..steps {
         let len = ctx.len();
+        if rng.chance(30) {
+            // Interleave a per-router buffer resize with the flow churn.
+            let routers = ctx.system().topology().router_count() as u64;
+            let delta = Delta::ResizeBuffer {
+                router: RouterId::new(rng.below(routers) as u32),
+                depth: 1 + rng.below(16) as u32,
+            };
+            ctx.apply(delta, routing).expect("resize applies cleanly");
+            assert_matches_scratch(&mut ctx, label, step);
+            continue;
+        }
         let add = len <= min_flows || (len < max_flows && rng.chance(60));
         let delta = if add {
             let priority = if !freed_priorities.is_empty() && rng.chance(50) {
@@ -223,4 +239,18 @@ fn mesh_4x4_delta_sequences_match_from_scratch() {
 fn mesh_8x8_delta_sequences_match_from_scratch() {
     let system = SyntheticSpec::paper(8, 8, 80, 2).generate(11).into_system();
     exercise("8x8_80", system, &XyRouting, true, 8, 0x5EED_0003);
+}
+
+/// Sequences starting from an already-heterogeneous, already-bursty base:
+/// resizes stack on top of generated per-router overrides, and removals
+/// can evict bursty flows.
+#[test]
+fn bursty_hetero_delta_sequences_match_from_scratch() {
+    let system = SyntheticSpec::paper(4, 4, 20, 2)
+        .with_burst_range(0, 2)
+        .with_buffer_depth_range(2, 8)
+        .generate(13)
+        .into_system();
+    assert!(system.has_heterogeneous_buffers());
+    exercise("4x4_20_hetero", system, &XyRouting, true, 10, 0x5EED_0004);
 }

@@ -8,10 +8,17 @@
 //! i.e. the cycle-accurate simulator never observes a latency above the
 //! buffer-aware bound, and the buffer-aware bound never exceeds the coarser
 //! XLWX baseline it refines (Eq. 8's `min()` guarantees containment). The
-//! scenarios vary mesh size, flow count, buffer depth and release jitter.
+//! scenarios vary mesh size, flow count, buffer depth (uniform and
+//! per-router heterogeneous), burst allowance σ and release jitter; the
+//! randomized heterogeneous/bursty sweep at the bottom draws its scenarios
+//! through the vendored proptest shim (seeded, deterministic per test).
+//!
+//! Case count of the randomized sweep: 12 by default, 100+ under
+//! `NOC_MPB_SWEEP_EXHAUSTIVE=1` (the CI soundness leg).
 
 use noc_mpb::prelude::*;
 use noc_mpb::workload::synthetic::SyntheticSpec;
+use proptest::prelude::*;
 
 /// One synthetic scenario: the system plus how long to simulate it.
 struct Scenario {
@@ -116,6 +123,102 @@ fn sim_ibn_xlwx_chain_with_release_jitter() {
                 plan = plan.with_jitter(id, pattern);
             }
             assert_chain(&scenario, plan, &format!("{pattern:?}"));
+        }
+    }
+}
+
+/// Case count of the randomized heterogeneous/bursty sweeps: a quick
+/// default for local runs, 100+ scenarios per seeded test in the CI
+/// soundness leg (`NOC_MPB_SWEEP_EXHAUSTIVE=1`).
+fn sweep_cases() -> u32 {
+    if std::env::var("NOC_MPB_SWEEP_EXHAUSTIVE").map(|v| v == "1") == Ok(true) {
+        100
+    } else {
+        12
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(sweep_cases()))]
+
+    #[test]
+    fn chain_holds_on_random_heterogeneous_depth_maps(
+        seed in 0u64..1_000_000,
+        depth_lo in 2u32..6,
+        depth_span in 0u32..5,
+    ) {
+        // Per-router depths drawn from [depth_lo, depth_lo + depth_span],
+        // all ≥ 2 — the simulator-fidelity precondition.
+        let mut spec = SyntheticSpec::paper(3, 3, 8, depth_lo)
+            .with_buffer_depth_range(depth_lo, depth_lo + depth_span);
+        spec.period_range = (400, 6_000);
+        spec.length_range = (4, 64);
+        let scenario = Scenario {
+            system: spec.generate(seed).into_system(),
+            horizon: Cycles::new(40_000),
+            label: format!("hetero seed={seed} depths={depth_lo}..={}", depth_lo + depth_span),
+        };
+        let plan = ReleasePlan::synchronous(&scenario.system);
+        assert_chain(&scenario, plan, "synchronous");
+    }
+
+    #[test]
+    fn chain_holds_on_random_bursty_arrivals(
+        seed in 0u64..1_000_000,
+        burst_hi in 1u32..4,
+        jitter in 0u64..200,
+    ) {
+        let mut spec = SyntheticSpec::paper(3, 3, 7, 2).with_burst_range(0, burst_hi);
+        spec.period_range = (600, 6_000);
+        spec.length_range = (4, 48);
+        spec.jitter = Cycles::new(jitter);
+        let scenario = Scenario {
+            system: spec.generate(seed).into_system(),
+            horizon: Cycles::new(40_000),
+            label: format!("bursty seed={seed} σ≤{burst_hi} J={jitter}"),
+        };
+        // Worst-case alignment: every flow releases its full burst at t=0.
+        let plan = ReleasePlan::synchronous(&scenario.system);
+        assert_chain(&scenario, plan, "synchronous-burst");
+    }
+
+    #[test]
+    fn chain_holds_on_random_bursty_heterogeneous_scenarios(
+        seed in 0u64..1_000_000,
+        burst_hi in 0u32..3,
+        depth_lo in 2u32..5,
+        depth_span in 0u32..4,
+    ) {
+        let mut spec = SyntheticSpec::paper(4, 4, 10, depth_lo)
+            .with_burst_range(0, burst_hi)
+            .with_buffer_depth_range(depth_lo, depth_lo + depth_span);
+        spec.period_range = (600, 8_000);
+        spec.length_range = (4, 64);
+        let scenario = Scenario {
+            system: spec.generate(seed).into_system(),
+            horizon: Cycles::new(50_000),
+            label: format!(
+                "hetero+bursty seed={seed} σ≤{burst_hi} depths={depth_lo}..={}",
+                depth_lo + depth_span
+            ),
+        };
+        let plan = ReleasePlan::synchronous(&scenario.system);
+        assert_chain(&scenario, plan, "synchronous");
+
+        // The conservative bound must dominate IBN on these axes too.
+        let ctx = AnalysisContext::new(&scenario.system).unwrap();
+        let conservative = noc_mpb::analysis::conservative_with(&ctx);
+        let ibn = BufferAware.analyze(&scenario.system).unwrap();
+        for id in scenario.system.flows().ids() {
+            if let (Some(r_ibn), Some(r_cons)) =
+                (ibn.response_time(id), conservative.response_time(id))
+            {
+                prop_assert!(
+                    r_ibn <= r_cons,
+                    "[{}] {id}: R^IBN {r_ibn} > conservative {r_cons}",
+                    scenario.label
+                );
+            }
         }
     }
 }
